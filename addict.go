@@ -1,0 +1,244 @@
+// Package addict is the public API of the ADDICT reproduction: advanced
+// instruction chasing for transactions (Tözün, Atta, Ailamaki, Moshovos —
+// PVLDB 7(14), 2014).
+//
+// The package wires together the reproduction's subsystems — the
+// instrumented storage manager, the TPC workloads, Algorithm 1/2 (migration
+// point discovery and core assignment), the four scheduling mechanisms, and
+// the multicore timing simulator — behind a small facade. The typical
+// pipeline is:
+//
+//	w := addict.NewTPCC(42, 1.0)                 // build + populate
+//	profSet := addict.GenerateTraces(w, 1000)    // the "first 1000" traces
+//	prof := addict.FindMigrationPoints(profSet)  // Algorithm 1
+//	evalSet := addict.GenerateTraces(w, 1000)    // the "next 1000"
+//	res, _ := addict.Schedule(addict.ADDICT, evalSet, addict.Options{Profile: prof})
+//	base, _ := addict.Schedule(addict.Baseline, evalSet, addict.Options{})
+//	fmt.Printf("L1-I MPKI: %.2f -> %.2f\n",
+//		base.Machine.MPKI(base.Machine.L1IMisses),
+//		res.Machine.MPKI(res.Machine.L1IMisses))
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package addict
+
+import (
+	"fmt"
+	"io"
+
+	"addict/internal/codemap"
+	"addict/internal/core"
+	"addict/internal/exp"
+	"addict/internal/power"
+	"addict/internal/sched"
+	"addict/internal/sim"
+	"addict/internal/stats"
+	"addict/internal/storage"
+	"addict/internal/trace"
+	"addict/internal/workload"
+)
+
+// Workload is a populated benchmark that generates transaction traces.
+type Workload = workload.Benchmark
+
+// TxnSpec declares one transaction type of a custom workload's mix.
+type TxnSpec = workload.TxnSpec
+
+// TraceSet is an ordered collection of transaction traces.
+type TraceSet = trace.Set
+
+// Trace is one transaction's recorded execution.
+type Trace = trace.Trace
+
+// Profile is Algorithm 1's output: per-(transaction type, operation)
+// migration points.
+type Profile = core.Profile
+
+// Assignment is Algorithm 2's output: a core map per transaction type.
+type Assignment = core.Assignment
+
+// Mechanism names a scheduling mechanism.
+type Mechanism = sched.Mechanism
+
+// The four evaluated scheduling mechanisms (Section 4.1).
+const (
+	Baseline = sched.Baseline
+	STREX    = sched.STREX
+	SLICC    = sched.SLICC
+	ADDICT   = sched.ADDICT
+)
+
+// Mechanisms lists all four in the paper's presentation order.
+var Mechanisms = sched.Mechanisms
+
+// MachineConfig describes the simulated multicore (Table 1).
+type MachineConfig = sim.Config
+
+// Result is the outcome of replaying a trace set under a mechanism.
+type Result = sim.Result
+
+// PowerReport is the McPAT-substitute power analysis (Figure 8b).
+type PowerReport = power.Report
+
+// StorageManager is the instrumented mini-Shore-MT storage manager; use it
+// to build custom workloads (tables, B+tree indexes, the five database
+// operations).
+type StorageManager = storage.Manager
+
+// Table is a storage-manager table.
+type Table = storage.Table
+
+// Txn is a storage-manager transaction context.
+type Txn = storage.Txn
+
+// ExperimentParams scopes the evaluation harness.
+type ExperimentParams = exp.Params
+
+// NewTPCB builds and populates the TPC-B benchmark (scale 1.0 ≈ 160k
+// accounts).
+func NewTPCB(seed int64, scale float64) *Workload { return workload.NewTPCB(seed, scale) }
+
+// NewTPCC builds and populates the TPC-C benchmark (scale 1.0 ≈ 60k
+// customers, 2 warehouses).
+func NewTPCC(seed int64, scale float64) *Workload { return workload.NewTPCC(seed, scale) }
+
+// NewTPCE builds and populates the TPC-E benchmark (scale 1.0 ≈ 2000
+// customers, 20k initial trades).
+func NewTPCE(seed int64, scale float64) *Workload { return workload.NewTPCE(seed, scale) }
+
+// NewWorkload looks up a benchmark builder by name ("TPC-B", "TPC-C",
+// "TPC-E").
+func NewWorkload(name string, seed int64, scale float64) (*Workload, error) {
+	build, err := workload.Builder(name)
+	if err != nil {
+		return nil, err
+	}
+	return build(seed, scale), nil
+}
+
+// NewStorageManager returns a storage manager on the standard code layout,
+// ready for table creation and population — the substrate for custom
+// workloads.
+func NewStorageManager() *StorageManager {
+	return storage.NewManager(trace.Discard{}, codemap.NewLayout())
+}
+
+// NewCustomWorkload assembles a workload from transaction specs over a
+// populated storage manager.
+func NewCustomWorkload(name string, m *StorageManager, seed int64, specs []TxnSpec) *Workload {
+	return workload.NewCustom(name, m, seed, specs)
+}
+
+// GenerateTraces collects n transaction traces from the workload.
+func GenerateTraces(w *Workload, n int) *TraceSet { return workload.GenerateSet(w, n) }
+
+// StreamTraces generates n traces one at a time without retaining them —
+// the memory-bounded path for large stability runs.
+func StreamTraces(w *Workload, n int, fn func(i int, t *Trace)) { workload.Stream(w, n, fn) }
+
+// FindMigrationPoints runs Algorithm 1 over profiling traces with the
+// Table 1 L1-I geometry and the storage manager's no-migrate zones
+// (Section 3.1.3).
+func FindMigrationPoints(s *TraceSet) *Profile {
+	lay := codemap.NewLayout()
+	cfg := core.ProfileConfig{L1I: sim.Shallow().L1I, NoMigrate: lay.NoMigrate}
+	return core.FindMigrationPoints(s, cfg)
+}
+
+// ShallowMachine returns the Table 1 configuration.
+func ShallowMachine() MachineConfig { return sim.Shallow() }
+
+// DeepMachine returns the Section 4.6 deeper hierarchy.
+func DeepMachine() MachineConfig { return sim.Deep() }
+
+// Options configures Schedule.
+type Options struct {
+	// Machine is the simulated hardware; zero value = Table 1.
+	Machine *MachineConfig
+	// Profile supplies ADDICT's migration points (required for ADDICT).
+	Profile *Profile
+	// BatchSize overrides the same-type batch size (0 = number of cores).
+	BatchSize int
+}
+
+// Schedule replays a trace set under the given mechanism and returns the
+// simulation result.
+func Schedule(mech Mechanism, s *TraceSet, opts Options) (Result, error) {
+	machine := sim.Shallow()
+	if opts.Machine != nil {
+		machine = *opts.Machine
+	}
+	cfg := sched.DefaultConfig(machine)
+	cfg.Profile = opts.Profile
+	cfg.BatchSize = opts.BatchSize
+	return sched.Run(mech, s, cfg)
+}
+
+// AnalyzePower computes the activity-based power report of a run.
+func AnalyzePower(r Result) PowerReport { return power.Analyze(r, power.DefaultWeights()) }
+
+// DefaultExperimentParams returns the paper-faithful evaluation setup
+// (1000 profiling + 1000 evaluation traces, 10000 for stability).
+func DefaultExperimentParams() ExperimentParams { return exp.DefaultParams() }
+
+// QuickExperimentParams returns a reduced setup for fast runs.
+func QuickExperimentParams() ExperimentParams { return exp.QuickParams() }
+
+// RunAllExperiments regenerates every table and figure of the paper's
+// evaluation, writing the report to out.
+func RunAllExperiments(out io.Writer, p ExperimentParams) { exp.RunAll(out, p) }
+
+// RunExperiment runs a single experiment by id ("table1", "fig1" ...
+// "fig9", "ablations").
+func RunExperiment(id string, out io.Writer, p ExperimentParams) error {
+	run, ok := exp.Experiments[id]
+	if !ok {
+		return fmt.Errorf("addict: unknown experiment %q", id)
+	}
+	run(out, p)
+	return nil
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(exp.Experiments))
+	for id := range exp.Experiments {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// WriteTraces serializes a trace set in the binary trace format.
+func WriteTraces(w io.Writer, s *TraceSet) error { return trace.WriteSet(w, s) }
+
+// ReadTraces deserializes a trace set.
+func ReadTraces(r io.Reader) (*TraceSet, error) { return trace.ReadSet(r) }
+
+// WriteProfile persists Algorithm 1's output — the paper's static Step 1,
+// "performed a priori", so serving starts with migration points already in
+// hand (Section 3.1.3).
+func WriteProfile(w io.Writer, p *Profile) error { return core.WriteProfile(w, p) }
+
+// ReadProfile reloads a persisted profile.
+func ReadProfile(r io.Reader) (*Profile, error) { return core.ReadProfile(r) }
+
+// ScheduleOnline is ADDICT's pure-dynamic deployment: the first rampUp
+// transactions run under traditional scheduling while Algorithm 1 profiles
+// them, then the rest migrate over the learned points (Section 3.1.3).
+// Returns the combined run and the learned profile.
+func ScheduleOnline(s *TraceSet, rampUp int, opts Options) (Result, *Profile, error) {
+	machine := sim.Shallow()
+	if opts.Machine != nil {
+		machine = *opts.Machine
+	}
+	cfg := sched.DefaultConfig(machine)
+	cfg.BatchSize = opts.BatchSize
+	lay := codemap.NewLayout()
+	return sched.RunOnline(s, cfg, rampUp, lay.NoMigrate)
+}
+
+// OverlapBuckets computes the Figure 2 frequency-bucket shares for a group
+// of per-instance footprints.
+func OverlapBuckets(footprints []map[uint64]struct{}) stats.OverlapResult {
+	return stats.Overlap(footprints)
+}

@@ -1,0 +1,174 @@
+package addict_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"addict"
+)
+
+// TestPublicPipeline exercises the documented end-to-end flow: build a
+// workload, profile it, and compare ADDICT against Baseline.
+func TestPublicPipeline(t *testing.T) {
+	w := addict.NewTPCB(1, 0.05)
+	profSet := addict.GenerateTraces(w, 80)
+	prof := addict.FindMigrationPoints(profSet)
+	evalSet := addict.GenerateTraces(w, 80)
+
+	base, err := addict.Schedule(addict.Baseline, evalSet, addict.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := addict.Schedule(addict.ADDICT, evalSet, addict.Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.MPKI(res.Machine.L1IMisses) >= base.Machine.MPKI(base.Machine.L1IMisses) {
+		t.Error("ADDICT did not reduce L1-I MPKI through the public API")
+	}
+	pw := addict.AnalyzePower(res)
+	if pw.AvgCorePower <= 0 {
+		t.Error("power report empty")
+	}
+}
+
+func TestNewWorkloadByName(t *testing.T) {
+	for _, name := range []string{"TPC-B", "TPC-C", "TPC-E"} {
+		w, err := addict.NewWorkload(name, 1, 0.02)
+		if err != nil || w.Name() != name {
+			t.Errorf("NewWorkload(%q) = %v, %v", name, w, err)
+		}
+	}
+	if _, err := addict.NewWorkload("TPC-X", 1, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	m := addict.NewStorageManager()
+	tbl := m.CreateTable("kv")
+	tbl.CreateIndex("kv_pk")
+	pop := m.Begin()
+	for i := 0; i < 500; i++ {
+		if _, err := m.InsertTuple(pop, tbl, []uint64{uint64(i)}, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Commit(pop)
+
+	i := 0
+	w := addict.NewCustomWorkload("KV", m, 1, []addict.TxnSpec{
+		{Name: "Get", Weight: 0.8, Run: func(txn *addict.Txn) {
+			m.IndexProbe(txn, tbl, tbl.Index(0), uint64(i%500))
+			i++
+		}},
+		{Name: "Put", Weight: 0.2, Run: func(txn *addict.Txn) {
+			rid, _, ok := m.IndexProbe(txn, tbl, tbl.Index(0), uint64(i%500))
+			if ok {
+				m.UpdateTuple(txn, tbl, rid, uint64(i%500), make([]byte, 64))
+			}
+			i++
+		}},
+	})
+	set := addict.GenerateTraces(w, 50)
+	if len(set.Traces) != 50 {
+		t.Fatalf("traces = %d", len(set.Traces))
+	}
+	prof := addict.FindMigrationPoints(set)
+	eval := addict.GenerateTraces(w, 50)
+	res, err := addict.Schedule(addict.ADDICT, eval, addict.Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 50 {
+		t.Errorf("threads = %d", res.Threads)
+	}
+}
+
+func TestTraceCodecRoundtripPublic(t *testing.T) {
+	w := addict.NewTPCB(1, 0.02)
+	set := addict.GenerateTraces(w, 5)
+	var buf bytes.Buffer
+	if err := addict.WriteTraces(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := addict.ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != 5 || got.Workload != "TPC-B" {
+		t.Errorf("roundtrip: %d traces, workload %q", len(got.Traces), got.Workload)
+	}
+}
+
+func TestRunExperimentByID(t *testing.T) {
+	var sb strings.Builder
+	p := addict.QuickExperimentParams()
+	p.Scale = 0.05
+	p.ProfileTraces = 50
+	if err := addict.RunExperiment("table1", &sb, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Error("table1 output missing header")
+	}
+	if err := addict.RunExperiment("nope", &sb, p); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(addict.ExperimentIDs()) < 12 {
+		t.Errorf("only %d experiment ids", len(addict.ExperimentIDs()))
+	}
+}
+
+func TestProfilePersistence(t *testing.T) {
+	w := addict.NewTPCB(1, 0.05)
+	set := addict.GenerateTraces(w, 60)
+	prof := addict.FindMigrationPoints(set)
+	var buf bytes.Buffer
+	if err := addict.WriteProfile(&buf, prof); err != nil {
+		t.Fatal(err)
+	}
+	got, err := addict.ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reloaded (static, a-priori) profile must schedule identically.
+	eval := addict.GenerateTraces(w, 60)
+	r1, err := addict.Schedule(addict.ADDICT, eval, addict.Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := addict.Schedule(addict.ADDICT, eval, addict.Options{Profile: got})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.Migrations != r2.Migrations {
+		t.Errorf("reloaded profile schedules differently: %d/%d vs %d/%d",
+			r1.Makespan, r1.Migrations, r2.Makespan, r2.Migrations)
+	}
+}
+
+func TestScheduleOnline(t *testing.T) {
+	w := addict.NewTPCB(1, 0.05)
+	set := addict.GenerateTraces(w, 120)
+	res, prof, err := addict.ScheduleOnline(set, 40, addict.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil || res.Migrations == 0 {
+		t.Error("online scheduling learned nothing or never migrated")
+	}
+	if _, _, err := addict.ScheduleOnline(set, 0, addict.Options{}); err == nil {
+		t.Error("invalid ramp-up accepted")
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	if addict.ShallowMachine().PrivateL2 != nil {
+		t.Error("shallow machine has a private L2")
+	}
+	if addict.DeepMachine().PrivateL2 == nil {
+		t.Error("deep machine lacks a private L2")
+	}
+}

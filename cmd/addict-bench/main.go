@@ -1,0 +1,73 @@
+// Command addict-bench regenerates the paper's evaluation: every table and
+// figure (Table 1, Figures 1-9) plus the ablations, or any single
+// experiment by id.
+//
+// Usage:
+//
+//	addict-bench                 # full report, paper-faithful sizes
+//	addict-bench -quick          # reduced sizes (~1/4 traces)
+//	addict-bench -exp fig5       # a single experiment
+//	addict-bench -traces 500     # override trace counts
+//	addict-bench -list           # list experiment ids
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"addict"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "single experiment id (default: run everything)")
+		quick  = flag.Bool("quick", false, "reduced trace counts and database scale")
+		traces = flag.Int("traces", 0, "override profiling/evaluation trace counts")
+		scale  = flag.Float64("scale", 0, "override database scale factor")
+		seed   = flag.Int64("seed", 0, "override workload seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := addict.ExperimentIDs()
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	p := addict.DefaultExperimentParams()
+	if *quick {
+		p = addict.QuickExperimentParams()
+	}
+	if *traces > 0 {
+		p.ProfileTraces = *traces
+		p.EvalTraces = *traces
+		p.StabilityTraces = 10 * *traces
+	}
+	if *scale > 0 {
+		p.Scale = *scale
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	start := time.Now()
+	if *expID != "" {
+		if err := addict.RunExperiment(*expID, out, p); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		addict.RunAllExperiments(out, p)
+	}
+	fmt.Fprintf(out, "\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

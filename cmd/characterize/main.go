@@ -1,0 +1,52 @@
+// Command characterize runs the paper's Section 2 memory characterization
+// (Figures 1-3) — operation footprints, instruction/data overlap, and
+// within-instance reuse — on generated traces or a saved trace file.
+//
+// Usage:
+//
+//	characterize                       # all three figures on fresh traces
+//	characterize -workload TPC-E       # overlap analysis of one workload
+//	characterize -traces 500 -scale 0.5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"addict"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "", "restrict Figure 2 to one benchmark (default: all)")
+		traces = flag.Int("traces", 1000, "traces per workload")
+		scale  = flag.Float64("scale", 1.0, "database scale factor")
+		seed   = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	p := addict.DefaultExperimentParams()
+	p.ProfileTraces = *traces
+	p.Scale = *scale
+	p.Seed = *seed
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	ids := []string{"fig1", "fig2", "fig3"}
+	if *name != "" {
+		// Single-workload overlap only (fig2 covers all three otherwise).
+		if _, err := addict.NewWorkload(*name, *seed, 0.01); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		if err := addict.RunExperiment(id, out, p); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

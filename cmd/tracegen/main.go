@@ -1,0 +1,58 @@
+// Command tracegen generates transaction traces from a TPC workload and
+// writes them in the binary trace format — the reproduction's counterpart
+// of the paper's Pin-based trace collection (Section 4.1).
+//
+// Usage:
+//
+//	tracegen -workload TPC-C -n 1000 -o tpcc.traces
+//	tracegen -workload TPC-B -n 11000 -seed 7 -o tpcb.traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"addict"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "TPC-C", "benchmark: TPC-B, TPC-C, or TPC-E")
+		n     = flag.Int("n", 1000, "number of transaction traces")
+		seed  = flag.Int64("seed", 42, "workload seed")
+		scale = flag.Float64("scale", 1.0, "database scale factor")
+		out   = flag.String("o", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	w, err := addict.NewWorkload(*name, *seed, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	set := addict.GenerateTraces(w, *n)
+
+	f := os.Stdout
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	if err := addict.WriteTraces(f, set); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var events, instr uint64
+	for _, t := range set.Traces {
+		events += uint64(len(t.Events))
+		instr += t.Instructions()
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d traces, %d events, %d instructions (%v)\n",
+		set.Workload, len(set.Traces), events, instr, time.Since(start).Round(time.Millisecond))
+}

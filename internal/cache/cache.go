@@ -1,0 +1,246 @@
+// Package cache implements the set-associative cache models used by both
+// ADDICT's profiling step (Algorithm 1 tracks L1-I evictions) and the
+// multicore timing simulator (Table 1 hierarchy).
+//
+// Caches here are *functional* models: they track block residency and
+// replacement, and report hits/misses/evictions. Timing (latencies, torus
+// hops, memory) is layered on top by package sim.
+package cache
+
+import (
+	"fmt"
+
+	"addict/internal/trace"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity; must be a power of two.
+	SizeBytes int
+	// Ways is the associativity; must divide the number of blocks.
+	Ways int
+	// Name appears in diagnostics ("L1-I", "L1-D", "L2", "L3").
+	Name string
+}
+
+// Validate checks the configuration for structural soundness.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0 {
+		return fmt.Errorf("cache %s: size %d is not a positive power of two", c.Name, c.SizeBytes)
+	}
+	blocks := c.SizeBytes / trace.BlockSize
+	if blocks == 0 {
+		return fmt.Errorf("cache %s: size %d smaller than one block", c.Name, c.SizeBytes)
+	}
+	if c.Ways <= 0 || blocks%c.Ways != 0 {
+		return fmt.Errorf("cache %s: %d ways does not divide %d blocks", c.Name, c.Ways, blocks)
+	}
+	sets := blocks / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats counts cache activity since the last Reset.
+type Stats struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// MissRatio returns misses/accesses (0 when idle).
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement per set.
+// Lines are identified by 64-byte block address; the zero address is valid
+// (tracked with an explicit valid bit). Not safe for concurrent use; the
+// simulator is single-goroutine by design.
+type Cache struct {
+	cfg      Config
+	ways     int
+	setShift uint
+	setMask  uint64
+	// lines[set*ways+way]; within a set, index 0 is MRU, ways-1 is LRU.
+	lines []line
+	stats Stats
+}
+
+type line struct {
+	addr  uint64
+	valid bool
+}
+
+// New builds a cache from cfg; it panics on invalid configuration (a
+// programming error — configurations are compiled into experiment setups).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	blocks := cfg.SizeBytes / trace.BlockSize
+	sets := blocks / cfg.Ways
+	return &Cache{
+		cfg:      cfg,
+		ways:     cfg.Ways,
+		setShift: uint(trace.BlockShift),
+		setMask:  uint64(sets - 1),
+		lines:    make([]line, blocks),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.lines) / c.ways }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Capacity returns the capacity in blocks.
+func (c *Cache) Capacity() int { return len(c.lines) }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the activity counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setIndex(addr uint64) int {
+	return int((addr >> c.setShift) & c.setMask)
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	// Hit reports whether the block was resident.
+	Hit bool
+	// Evicted is the block address displaced by the fill, when Victim.
+	Evicted uint64
+	// Victim reports whether a valid block was evicted.
+	Victim bool
+}
+
+// Access looks up the block containing addr, fills on miss, and updates LRU
+// order. It returns the outcome, including the identity of any evicted block
+// — the signal Algorithm 1 listens for ("addr request requires an eviction",
+// line 14).
+func (c *Cache) Access(addr uint64) AccessResult {
+	addr &^= trace.BlockSize - 1
+	c.stats.Accesses++
+	set := c.setIndex(addr) * c.ways
+	ln := c.lines[set : set+c.ways]
+	for i := range ln {
+		if ln[i].valid && ln[i].addr == addr {
+			// Hit: move to MRU position.
+			hit := ln[i]
+			copy(ln[1:i+1], ln[:i])
+			ln[0] = hit
+			return AccessResult{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	// Miss: victim is the LRU way (prefer an invalid way).
+	res := AccessResult{}
+	victim := ln[c.ways-1]
+	if victim.valid {
+		// Check for any invalid way first; LRU order keeps valid lines
+		// compact at the front only if we insert carefully, so scan.
+		inv := -1
+		for i := range ln {
+			if !ln[i].valid {
+				inv = i
+				break
+			}
+		}
+		if inv >= 0 {
+			copy(ln[1:inv+1], ln[:inv])
+		} else {
+			res.Evicted = victim.addr
+			res.Victim = true
+			c.stats.Evictions++
+			copy(ln[1:], ln[:c.ways-1])
+		}
+	} else {
+		copy(ln[1:], ln[:c.ways-1])
+	}
+	ln[0] = line{addr: addr, valid: true}
+	return res
+}
+
+// Contains reports whether the block containing addr is resident, without
+// modifying state or statistics. SLICC's core-selection heuristic and the
+// simulator's coherence checks use it.
+func (c *Cache) Contains(addr uint64) bool {
+	addr &^= trace.BlockSize - 1
+	set := c.setIndex(addr) * c.ways
+	for _, l := range c.lines[set : set+c.ways] {
+		if l.valid && l.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the block containing addr if resident, returning whether
+// it was. Used for write-invalidate coherence between private L1-D caches.
+func (c *Cache) Invalidate(addr uint64) bool {
+	addr &^= trace.BlockSize - 1
+	set := c.setIndex(addr) * c.ways
+	ln := c.lines[set : set+c.ways]
+	for i := range ln {
+		if ln[i].valid && ln[i].addr == addr {
+			// Shift the remainder up and park the invalid line at LRU.
+			copy(ln[i:], ln[i+1:])
+			ln[c.ways-1] = line{}
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the whole cache — Algorithm 1 "empties the L1-I cache"
+// at transaction/operation boundaries and after every eviction.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Resident returns the number of valid blocks.
+func (c *Cache) Resident() int {
+	n := 0
+	for _, l := range c.lines {
+		if l.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentBlocks appends the addresses of all valid blocks to dst and
+// returns it. Diagnostic/analysis use only (it allocates).
+func (c *Cache) ResidentBlocks(dst []uint64) []uint64 {
+	for _, l := range c.lines {
+		if l.valid {
+			dst = append(dst, l.addr)
+		}
+	}
+	return dst
+}
+
+// BankOf maps a block address to one of nBanks NUCA banks (power of two) by
+// hashing the block number, matching the banked shared L2 of Table 1.
+func BankOf(addr uint64, nBanks int) int {
+	if nBanks&(nBanks-1) != 0 || nBanks <= 0 {
+		panic(fmt.Sprintf("cache: bank count %d not a positive power of two", nBanks))
+	}
+	block := addr >> trace.BlockShift
+	// Mix the bits so sequential code blocks spread over banks.
+	x := block * 0x9e3779b97f4a7c15
+	return int((x >> 32) & uint64(nBanks-1))
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"addict/internal/trace"
+)
+
+// This file implements Step 2's core assignment (Algorithm 2 lines 1-14)
+// and the Section 3.2.3 load balancing: dropping internal migration points
+// of infrequent operations when points outnumber cores, and replicating
+// cores for frequent operations when cores outnumber points.
+
+// PointAssignment maps one migration point to its core set.
+type PointAssignment struct {
+	// Addr is the migration-point instruction address (0 for entries).
+	Addr uint64
+	// Prev is the previous migration address in the sequence; a thread
+	// migrates at Addr only after passing Prev (Algorithm 2 line 25). Zero
+	// means "operation entry".
+	Prev uint64
+	// Cores lists the cores serving this point (≥1; >1 after surplus
+	// replication).
+	Cores []int
+}
+
+// OpAssignment is the per-operation slice of a transaction's core map.
+type OpAssignment struct {
+	Op trace.OpType
+	// Entry is the operation-entry point (Addr=0).
+	Entry PointAssignment
+	// Points are the internal migration points in sequence order (possibly
+	// truncated by load balancing).
+	Points []PointAssignment
+	// Dropped counts internal points removed by load balancing.
+	Dropped int
+	// Frequency is the op's instance count from profiling (the
+	// load-balancing priority).
+	Frequency int
+}
+
+// TxnAssignment is the full core map of one transaction type.
+type TxnAssignment struct {
+	Type trace.TxnType
+	Name string
+	// Entry is the transaction-entry point ("each transaction takes core0
+	// as their entry core").
+	Entry PointAssignment
+	// Ops holds per-operation assignments keyed by operation.
+	Ops map[trace.OpType]*OpAssignment
+	// OpOrder preserves assignment order.
+	OpOrder []trace.OpType
+	// Fallback is set when even the operation entries do not fit the
+	// machine ("ADDICT can either fallback to traditional scheduling or
+	// switch to a single-core technique", Section 3.2.3).
+	Fallback bool
+	// CoresUsed is the number of distinct cores in the map.
+	CoresUsed int
+}
+
+// Assignment is Algorithm 2's output: a core map per transaction type.
+type Assignment struct {
+	Workload string
+	Cores    int
+	PerTxn   map[trace.TxnType]*TxnAssignment
+}
+
+// Assign builds core assignments for every transaction type in the profile
+// on a machine with `cores` cores. Core ids are logical per type, exactly
+// as in Algorithm 2 ("each transaction takes core0 as their entry core");
+// the scheduler may remap them physically (see Rotate) to run batches of
+// different types on disjoint cores.
+func (p *Profile) Assign(cores int) *Assignment {
+	if cores < 1 {
+		panic(fmt.Sprintf("core: assign to %d cores", cores))
+	}
+	a := &Assignment{Workload: p.Workload, Cores: cores, PerTxn: make(map[trace.TxnType]*TxnAssignment)}
+	for _, tt := range p.SortedTypes() {
+		a.PerTxn[tt] = assignTxn(p.Txns[tt], cores)
+	}
+	return a
+}
+
+// Rotate shifts every core id of a transaction's map by offset (mod cores).
+// The scheduler uses per-type offsets to realize Section 3.2.3's "run
+// multiple batches of transactions in parallel": different types land on
+// different physical cores where possible, so consecutive batches of
+// different types do not fight over the same entry cores.
+func (ta *TxnAssignment) Rotate(offset, cores int) {
+	if offset == 0 {
+		return
+	}
+	rot := func(pt *PointAssignment) {
+		for i, c := range pt.Cores {
+			pt.Cores[i] = (c + offset) % cores
+		}
+	}
+	rot(&ta.Entry)
+	for _, oa := range ta.Ops {
+		rot(&oa.Entry)
+		for i := range oa.Points {
+			rot(&oa.Points[i])
+		}
+	}
+}
+
+// assignTxn performs Algorithm 2 lines 1-14 for one transaction type, with
+// load balancing.
+func assignTxn(tp *TxnProfile, cores int) *TxnAssignment {
+	ta := &TxnAssignment{
+		Type:    tp.Type,
+		Name:    tp.Name,
+		Ops:     make(map[trace.OpType]*OpAssignment),
+		OpOrder: append([]trace.OpType(nil), tp.OpOrder...),
+	}
+
+	// Working copy of the per-op point sequences, to be truncated if the
+	// machine is small.
+	type opWork struct {
+		op   trace.OpType
+		seq  []uint64
+		freq int
+		drop int
+	}
+	var work []*opWork
+	for _, op := range tp.OpOrder {
+		prof := tp.Ops[op]
+		work = append(work, &opWork{op: op, seq: append([]uint64(nil), prof.Seq...), freq: prof.Instances})
+	}
+
+	needed := func() int {
+		n := 1 // transaction entry
+		for _, w := range work {
+			n += 1 + len(w.seq)
+		}
+		return n
+	}
+
+	// More migration points than cores: "start ignoring the internal
+	// migration points in less frequent database operations starting from
+	// the last migration point" (Section 3.2.3).
+	for needed() > cores {
+		var victim *opWork
+		for _, w := range work {
+			if len(w.seq) == 0 {
+				continue
+			}
+			if victim == nil || w.freq < victim.freq {
+				victim = w
+			}
+		}
+		if victim == nil {
+			// Even entries alone exceed the machine.
+			ta.Fallback = true
+			break
+		}
+		victim.seq = victim.seq[:len(victim.seq)-1]
+		victim.drop++
+	}
+
+	// Sequential core numbering (Algorithm 2 lines 3-14).
+	core := 0
+	ta.Entry = PointAssignment{Cores: []int{core}}
+	for _, w := range work {
+		core++
+		oa := &OpAssignment{Op: w.op, Frequency: w.freq, Dropped: w.drop}
+		oa.Entry = PointAssignment{Cores: []int{core % cores}}
+		prev := uint64(0)
+		for _, addr := range w.seq {
+			core++
+			oa.Points = append(oa.Points, PointAssignment{Addr: addr, Prev: prev, Cores: []int{core % cores}})
+			prev = addr
+		}
+		ta.Ops[w.op] = oa
+	}
+	used := core + 1
+	if used > cores {
+		used = cores
+	}
+	ta.CoresUsed = used
+
+	// Fewer migration points than cores: "ADDICT distributes the remaining
+	// cores based on the frequency of operations" — surplus cores become
+	// replicas, apportioned proportionally to each point's load (its
+	// operation's instance count) by highest-averages assignment, so a
+	// probe invoked 13× per transaction ends up with ~13× the core share
+	// of a once-per-transaction insert.
+	surplus := cores - (core + 1)
+	if surplus > 0 && !ta.Fallback {
+		type target struct {
+			pt   *PointAssignment
+			load float64
+			ord  int // assignment order for deterministic tie-breaking
+		}
+		var targets []*target
+		ord := 0
+		for _, w := range work {
+			oa := ta.Ops[w.op]
+			targets = append(targets, &target{pt: &oa.Entry, load: float64(w.freq), ord: ord})
+			ord++
+			for i := range oa.Points {
+				targets = append(targets, &target{pt: &oa.Points[i], load: float64(w.freq), ord: ord})
+				ord++
+			}
+		}
+		next := core + 1
+		for g := 0; g < surplus && len(targets) > 0; g++ {
+			best := targets[0]
+			bestAvg := best.load / float64(len(best.pt.Cores))
+			for _, tg := range targets[1:] {
+				avg := tg.load / float64(len(tg.pt.Cores))
+				// Ties go to the point with fewer cores (the paper's ten-core
+				// example gives the leftover core to update's entry), then to
+				// assignment order.
+				better := avg > bestAvg ||
+					(avg == bestAvg && len(tg.pt.Cores) < len(best.pt.Cores)) ||
+					(avg == bestAvg && len(tg.pt.Cores) == len(best.pt.Cores) && tg.ord < best.ord)
+				if better {
+					best, bestAvg = tg, avg
+				}
+			}
+			best.pt.Cores = append(best.pt.Cores, next%cores)
+			next++
+		}
+		if len(targets) > 0 {
+			ta.CoresUsed = cores
+		}
+	}
+	return ta
+}
+
+// TotalPoints returns the number of migration points (entries + internal)
+// in the map — the space the paper budgets at 152 bits per point
+// (Section 3.2.4).
+func (ta *TxnAssignment) TotalPoints() int {
+	n := 1
+	for _, oa := range ta.Ops {
+		n += 1 + len(oa.Points)
+	}
+	return n
+}
+
+// HardwareBits estimates the per-core state cost in bits using the paper's
+// accounting: 152 bits per migration point plus 92 bits of current-state
+// registers (Section 3.2.4).
+func (ta *TxnAssignment) HardwareBits() int {
+	return ta.TotalPoints()*152 + 92
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"addict/internal/trace"
+)
+
+func sampleProfile() *Profile {
+	return &Profile{
+		Workload: "TPC-X",
+		Config:   DefaultProfileConfig(),
+		Txns: map[trace.TxnType]*TxnProfile{
+			0: {
+				Type: 0, Name: "Alpha", Instances: 900,
+				Ops: map[trace.OpType]*OpProfile{
+					trace.OpIndexProbe: {Op: trace.OpIndexProbe, Seq: []uint64{0x1000, 0x2040}, SeqCount: 890, Instances: 900, Alternatives: 3},
+					trace.OpCommit:     {Op: trace.OpCommit, SeqCount: 900, Instances: 900, Alternatives: 1},
+				},
+				OpOrder: []trace.OpType{trace.OpIndexProbe, trace.OpCommit},
+			},
+			3: {
+				Type: 3, Name: "Beta", Instances: 100,
+				Ops: map[trace.OpType]*OpProfile{
+					trace.OpInsertTuple: {Op: trace.OpInsertTuple, Seq: []uint64{0x8000}, SeqCount: 51, Instances: 100, Alternatives: 12},
+				},
+				OpOrder: []trace.OpType{trace.OpInsertTuple},
+			},
+		},
+	}
+}
+
+func TestProfileCodecRoundtrip(t *testing.T) {
+	p := sampleProfile()
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Errorf("roundtrip mismatch:\n p=%+v\n q=%+v", p, q)
+	}
+	if q.Config.L1I.SizeBytes != 32<<10 || q.Config.L1I.Ways != 8 {
+		t.Errorf("L1-I geometry lost: %+v", q.Config.L1I)
+	}
+	// The reloaded profile must drive assignment identically.
+	a1, a2 := p.Assign(16), q.Assign(16)
+	for tt := range a1.PerTxn {
+		if a1.PerTxn[tt].TotalPoints() != a2.PerTxn[tt].TotalPoints() {
+			t.Errorf("assignment differs after reload for type %d", tt)
+		}
+	}
+}
+
+func TestProfileCodecRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfile(bytes.NewReader([]byte("NOPE...."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadProfile(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfile(bytes.NewReader(buf.Bytes()[:buf.Len()-4])); err == nil {
+		t.Error("truncated profile accepted")
+	}
+}
+
+func TestProfileEqualAndDiff(t *testing.T) {
+	p, q := sampleProfile(), sampleProfile()
+	if !p.Equal(q) {
+		t.Fatal("identical profiles unequal")
+	}
+	if d := p.Diff(q); len(d) != 0 {
+		t.Fatalf("diff of identical profiles: %v", d)
+	}
+	q.Txns[0].Ops[trace.OpIndexProbe].Seq = []uint64{0x9999}
+	if p.Equal(q) {
+		t.Error("modified profile equal")
+	}
+	d := p.Diff(q)
+	if len(d) != 1 || !strings.Contains(d[0], "Alpha/probe") {
+		t.Errorf("diff = %v", d)
+	}
+	// Missing type.
+	delete(q.Txns, 3)
+	if len(p.Diff(q)) != 2 {
+		t.Errorf("diff with missing type = %v", p.Diff(q))
+	}
+}
+
+// TestProfileCodecOnRealProfile round-trips a profile built from actual
+// traces (integration of profiler + codec).
+func TestProfileCodecOnRealProfile(t *testing.T) {
+	tr := mkOpTrace(0, map[trace.OpType][]uint64{
+		trace.OpIndexProbe: blocks(0, 1, 2, 3, 4),
+	}, []trace.OpType{trace.OpIndexProbe})
+	s := &trace.Set{Workload: "w", TypeNames: []string{"x"}, Traces: []*trace.Trace{tr, tr}}
+	p := FindMigrationPoints(s, tinyCfg())
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Error("real profile roundtrip mismatch")
+	}
+}

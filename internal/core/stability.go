@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"addict/internal/trace"
+)
+
+// Stability measurement (Section 4.2 / Figure 4): an operation instance is
+// stable if running Algorithm 1 on it alone reproduces exactly the
+// migration points chosen during the 1000-trace profiling phase.
+
+// StabilityRow is one bar of Figure 4: a (transaction, operation) pair with
+// its exact-match percentage.
+type StabilityRow struct {
+	TxnName   string
+	Op        trace.OpType
+	Instances int
+	Matches   int
+}
+
+// MatchRate returns the fraction of instances whose points match exactly.
+func (r StabilityRow) MatchRate() float64 {
+	if r.Instances == 0 {
+		return 0
+	}
+	return float64(r.Matches) / float64(r.Instances)
+}
+
+// StabilityCounter streams evaluation traces against a profile — built for
+// the 10,000-trace runs, which never hold more than one trace in memory.
+type StabilityCounter struct {
+	prof *Profile
+	rows map[stKey]*StabilityRow
+}
+
+type stKey struct {
+	tt trace.TxnType
+	op trace.OpType
+}
+
+// NewStabilityCounter prepares a streaming stability measurement against
+// prof.
+func NewStabilityCounter(prof *Profile) *StabilityCounter {
+	return &StabilityCounter{prof: prof, rows: make(map[stKey]*StabilityRow)}
+}
+
+// AddTrace folds one evaluation trace in.
+func (s *StabilityCounter) AddTrace(t *trace.Trace) {
+	tp, ok := s.prof.Txns[t.Type]
+	if !ok {
+		return // type unseen during profiling
+	}
+	for _, inst := range OpSequences(t, s.prof.Config) {
+		op, ok := tp.Ops[inst.Op]
+		if !ok {
+			continue
+		}
+		k := stKey{tt: t.Type, op: inst.Op}
+		row, ok := s.rows[k]
+		if !ok {
+			row = &StabilityRow{TxnName: tp.Name, Op: inst.Op}
+			s.rows[k] = row
+		}
+		row.Instances++
+		if SeqEqual(inst.Seq, op.Seq) {
+			row.Matches++
+		}
+	}
+}
+
+// Rows returns the accumulated results, sorted by transaction name then
+// operation for stable reports.
+func (s *StabilityCounter) Rows() []StabilityRow {
+	out := make([]StabilityRow, 0, len(s.rows))
+	for _, r := range s.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TxnName != out[j].TxnName {
+			return out[i].TxnName < out[j].TxnName
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}

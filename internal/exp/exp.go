@@ -1,0 +1,183 @@
+// Package exp implements the paper's evaluation: one runner per table and
+// figure (Table 1, Figures 1-9), plus the ablations called out in
+// DESIGN.md. Every runner returns a structured result and renders the same
+// rows/series the paper reports, normalized over Baseline where the paper
+// normalizes.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"addict/internal/codemap"
+	"addict/internal/core"
+	"addict/internal/sched"
+	"addict/internal/sim"
+	"addict/internal/trace"
+	"addict/internal/workload"
+)
+
+// Params scopes an experiment run.
+type Params struct {
+	// Seed drives all workload randomness.
+	Seed int64
+	// Scale scales the database populations (1.0 = the laptop-scale
+	// defaults in package workload).
+	Scale float64
+	// ProfileTraces is the number of traces Algorithm 1 profiles (paper:
+	// the first 1000).
+	ProfileTraces int
+	// EvalTraces is the number of traces the scheduling experiments replay
+	// (paper: the next 1000).
+	EvalTraces int
+	// StabilityTraces is the large trace count for Figure 4 (paper:
+	// 10000 beyond the profiling set).
+	StabilityTraces int
+	// Machine is the simulated hardware.
+	Machine sim.Config
+}
+
+// DefaultParams returns the paper-faithful setup (Section 4.1).
+func DefaultParams() Params {
+	return Params{
+		Seed:            42,
+		Scale:           1.0,
+		ProfileTraces:   1000,
+		EvalTraces:      1000,
+		StabilityTraces: 10000,
+		Machine:         sim.Shallow(),
+	}
+}
+
+// QuickParams returns a reduced setup for tests and fast benchmark runs:
+// the same structure at ~1/4 the trace counts and 1/2 the database scale.
+func QuickParams() Params {
+	return Params{
+		Seed:            42,
+		Scale:           0.5,
+		ProfileTraces:   250,
+		EvalTraces:      250,
+		StabilityTraces: 1000,
+		Machine:         sim.Shallow(),
+	}
+}
+
+// Workloads lists the paper's three benchmarks in presentation order.
+var Workloads = []string{"TPC-B", "TPC-C", "TPC-E"}
+
+// Workbench caches per-workload artifacts (populated benchmark, profiling
+// and evaluation trace sets, the migration-point profile) so the
+// experiments sharing them do not regenerate.
+type Workbench struct {
+	P      Params
+	Layout *codemap.Layout
+
+	benches  map[string]*workload.Benchmark
+	profSets map[string]*trace.Set
+	evalSets map[string]*trace.Set
+	profiles map[string]*core.Profile
+	results  map[string]map[sched.Mechanism]sim.Result
+}
+
+// NewWorkbench prepares an empty workbench.
+func NewWorkbench(p Params) *Workbench {
+	return &Workbench{
+		P:        p,
+		Layout:   codemap.NewLayout(),
+		benches:  make(map[string]*workload.Benchmark),
+		profSets: make(map[string]*trace.Set),
+		evalSets: make(map[string]*trace.Set),
+		profiles: make(map[string]*core.Profile),
+		results:  make(map[string]map[sched.Mechanism]sim.Result),
+	}
+}
+
+// Benchmark returns the populated benchmark for a workload name.
+func (w *Workbench) Benchmark(name string) *workload.Benchmark {
+	if b, ok := w.benches[name]; ok {
+		return b
+	}
+	build, err := workload.Builder(name)
+	if err != nil {
+		panic(err)
+	}
+	b := build(w.P.Seed, w.P.Scale)
+	w.benches[name] = b
+	return b
+}
+
+// ProfileSet returns the profiling trace set (the "first 1000" traces).
+func (w *Workbench) ProfileSet(name string) *trace.Set {
+	if s, ok := w.profSets[name]; ok {
+		return s
+	}
+	s := workload.GenerateSet(w.Benchmark(name), w.P.ProfileTraces)
+	w.profSets[name] = s
+	return s
+}
+
+// EvalSet returns the evaluation trace set (the "next 1000" traces; the
+// generator continues from the profiling set's state).
+func (w *Workbench) EvalSet(name string) *trace.Set {
+	if s, ok := w.evalSets[name]; ok {
+		return s
+	}
+	w.ProfileSet(name) // ensure ordering: evaluation traces follow profiling
+	s := workload.GenerateSet(w.Benchmark(name), w.P.EvalTraces)
+	w.evalSets[name] = s
+	return s
+}
+
+// Profile returns the workload's Algorithm 1 output over the profiling set,
+// with the storage manager's no-migrate zones applied (Section 3.1.3).
+func (w *Workbench) Profile(name string) *core.Profile {
+	if p, ok := w.profiles[name]; ok {
+		return p
+	}
+	cfg := core.ProfileConfig{L1I: w.P.Machine.L1I, NoMigrate: w.Layout.NoMigrate}
+	p := core.FindMigrationPoints(w.ProfileSet(name), cfg)
+	w.profiles[name] = p
+	return p
+}
+
+// SchedConfig returns the scheduling configuration for a workload.
+func (w *Workbench) SchedConfig(name string) sched.Config {
+	cfg := sched.DefaultConfig(w.P.Machine)
+	cfg.Profile = w.Profile(name)
+	return cfg
+}
+
+// Result replays the workload's evaluation set under a mechanism, caching
+// the outcome (Figures 5, 6, 8b, and 9 share these runs).
+func (w *Workbench) Result(name string, mech sched.Mechanism) sim.Result {
+	if m, ok := w.results[name]; ok {
+		if r, ok := m[mech]; ok {
+			return r
+		}
+	} else {
+		w.results[name] = make(map[sched.Mechanism]sim.Result)
+	}
+	r, err := sched.Run(mech, w.EvalSet(name), w.SchedConfig(name))
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s on %s: %v", mech, name, err))
+	}
+	w.results[name][mech] = r
+	return r
+}
+
+// ratio is a/b guarding b=0.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// section prints an underlined header.
+func section(out io.Writer, title string) {
+	fmt.Fprintf(out, "\n%s\n", title)
+	for range title {
+		fmt.Fprint(out, "=")
+	}
+	fmt.Fprintln(out)
+}

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"io"
+
+	"addict/internal/power"
+	"addict/internal/sched"
+	"addict/internal/sim"
+	"addict/internal/stats"
+)
+
+// MechRow is one mechanism's metrics for one workload, normalized over
+// Baseline where the paper normalizes.
+type MechRow struct {
+	Mechanism sched.Mechanism
+	// Raw MPKI values.
+	L1I, L1D, LLC float64
+	// Normalized-over-Baseline values (Baseline = 1.0).
+	L1IN, L1DN, LLCN float64
+	// CyclesN is makespan / Baseline makespan (Figure 6 left).
+	CyclesN float64
+	// LatencyN is average latency / Baseline (Figure 6 right).
+	LatencyN float64
+	// SwitchesPerKI is migrations+switches per 1000 instructions (Fig 9).
+	SwitchesPerKI float64
+	// OverheadShare is migration/switch cycles over busy cycles (Fig 9).
+	OverheadShare float64
+	// PowerN is average per-core power / Baseline (Figure 8b).
+	PowerN float64
+}
+
+// Comparison is the shared evaluation of all four mechanisms on one
+// workload — the data behind Figures 5, 6, 8b, and 9.
+type Comparison struct {
+	Workload string
+	Rows     []MechRow
+}
+
+// Compare runs (or fetches cached) replays of every mechanism on a
+// workload.
+func Compare(w *Workbench, workloadName string) Comparison {
+	cmp := Comparison{Workload: workloadName}
+	base := w.Result(workloadName, sched.Baseline)
+	bm := base.Machine
+	basePower := power.Analyze(base, power.DefaultWeights())
+	for _, mech := range sched.Mechanisms {
+		res := w.Result(workloadName, mech)
+		m := res.Machine
+		pw := power.Analyze(res, power.DefaultWeights())
+		cmp.Rows = append(cmp.Rows, MechRow{
+			Mechanism:     mech,
+			L1I:           m.MPKI(m.L1IMisses),
+			L1D:           m.MPKI(m.L1DMisses),
+			LLC:           m.MPKI(m.SharedMisses),
+			L1IN:          ratio(m.MPKI(m.L1IMisses), bm.MPKI(bm.L1IMisses)),
+			L1DN:          ratio(m.MPKI(m.L1DMisses), bm.MPKI(bm.L1DMisses)),
+			LLCN:          ratio(m.MPKI(m.SharedMisses), bm.MPKI(bm.SharedMisses)),
+			CyclesN:       ratio(float64(res.Makespan), float64(base.Makespan)),
+			LatencyN:      ratio(res.AvgLatency(), base.AvgLatency()),
+			SwitchesPerKI: res.SwitchesPerKInstr(),
+			OverheadShare: res.OverheadShare(),
+			PowerN:        ratio(pw.AvgCorePower, basePower.AvgCorePower),
+		})
+	}
+	return cmp
+}
+
+// Row returns the row for a mechanism.
+func (c Comparison) Row(mech sched.Mechanism) MechRow {
+	for _, r := range c.Rows {
+		if r.Mechanism == mech {
+			return r
+		}
+	}
+	return MechRow{}
+}
+
+// Fig5Render prints the three MPKI plots of Figure 5.
+func Fig5Render(out io.Writer, comparisons []Comparison) {
+	section(out, "Figure 5: Misses per k-instruction, normalized over Baseline")
+	t := &stats.Table{Header: []string{"workload", "mechanism", "L1-I", "L1-I norm", "L1-D", "L1-D norm", "LLC", "LLC norm"}}
+	for _, c := range comparisons {
+		for _, r := range c.Rows {
+			t.AddRow(c.Workload, string(r.Mechanism),
+				stats.F(r.L1I, 2), stats.F(r.L1IN, 3),
+				stats.F(r.L1D, 2), stats.F(r.L1DN, 3),
+				stats.F(r.LLC, 2), stats.F(r.LLCN, 3))
+		}
+	}
+	t.Render(out)
+}
+
+// Fig6Render prints Figure 6: total execution cycles and average latency.
+func Fig6Render(out io.Writer, comparisons []Comparison) {
+	section(out, "Figure 6: Cycles to complete traces and average transaction latency (normalized)")
+	t := &stats.Table{Header: []string{"workload", "mechanism", "cycles norm", "latency norm"}}
+	for _, c := range comparisons {
+		for _, r := range c.Rows {
+			t.AddRow(c.Workload, string(r.Mechanism), stats.F(r.CyclesN, 3), stats.F(r.LatencyN, 3))
+		}
+	}
+	t.Render(out)
+}
+
+// Fig8bRender prints the power plot.
+func Fig8bRender(out io.Writer, comparisons []Comparison) {
+	section(out, "Figure 8b: Average per-core power, normalized over Baseline")
+	t := &stats.Table{Header: []string{"workload", "mechanism", "power norm"}}
+	for _, c := range comparisons {
+		for _, r := range c.Rows {
+			t.AddRow(c.Workload, string(r.Mechanism), stats.F(r.PowerN, 3))
+		}
+	}
+	t.Render(out)
+}
+
+// Fig9Render prints the overhead plots.
+func Fig9Render(out io.Writer, comparisons []Comparison) {
+	section(out, "Figure 9: Context switches/migrations per k-instructions and overhead share")
+	t := &stats.Table{Header: []string{"workload", "mechanism", "switches/ki", "overhead share"}}
+	for _, c := range comparisons {
+		for _, r := range c.Rows {
+			t.AddRow(c.Workload, string(r.Mechanism), stats.F(r.SwitchesPerKI, 3), stats.Pct(r.OverheadShare))
+		}
+	}
+	t.Render(out)
+}
+
+// Fig8a runs ADDICT vs Baseline on the deep hierarchy (Section 4.6: an
+// additional 256KB per-core L2; the shared L2 becomes an L3).
+type Fig8aResult struct {
+	Workload string
+	// CyclesN is ADDICT's makespan over Baseline's on the deep machine.
+	CyclesN float64
+	// L1IN is the corresponding L1-I MPKI ratio.
+	L1IN float64
+	// ShallowCyclesN is the shallow-machine ratio for comparison (the
+	// paper: deep gains are smaller because the private L2 absorbs most
+	// L1-I misses).
+	ShallowCyclesN float64
+}
+
+// Fig8a evaluates one workload on the deep hierarchy.
+func Fig8a(w *Workbench, workloadName string) Fig8aResult {
+	deepCfg := sched.DefaultConfig(sim.Deep())
+	deepCfg.Profile = w.Profile(workloadName)
+	set := w.EvalSet(workloadName)
+	base, err := sched.Run(sched.Baseline, set, deepCfg)
+	if err != nil {
+		panic(err)
+	}
+	add, err := sched.Run(sched.ADDICT, set, deepCfg)
+	if err != nil {
+		panic(err)
+	}
+	shallow := Compare(w, workloadName).Row(sched.ADDICT)
+	return Fig8aResult{
+		Workload:       workloadName,
+		CyclesN:        ratio(float64(add.Makespan), float64(base.Makespan)),
+		L1IN:           ratio(add.Machine.MPKI(add.Machine.L1IMisses), base.Machine.MPKI(base.Machine.L1IMisses)),
+		ShallowCyclesN: shallow.CyclesN,
+	}
+}
+
+// Fig8aRender prints the deep-hierarchy comparison.
+func Fig8aRender(out io.Writer, results []Fig8aResult) {
+	section(out, "Figure 8a: ADDICT on a deeper memory hierarchy (cycles normalized over Baseline)")
+	t := &stats.Table{Header: []string{"workload", "deep cycles norm", "deep L1-I norm", "shallow cycles norm"}}
+	for _, r := range results {
+		t.AddRow(r.Workload, stats.F(r.CyclesN, 3), stats.F(r.L1IN, 3), stats.F(r.ShallowCyclesN, 3))
+	}
+	t.Render(out)
+}

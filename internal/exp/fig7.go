@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"io"
+
+	"addict/internal/sched"
+	"addict/internal/stats"
+)
+
+// Fig7 sweeps the batch size (the number of concurrent transactions, i.e.
+// the server load) from 2 to 32 and reports ADDICT's cycles and L1-I MPKI
+// over Baseline — Section 4.5 ("while the reduction in L1-I MPKI remains
+// the same the total execution time improves for larger batch sizes").
+type Fig7Result struct {
+	Workload string
+	Points   []Fig7Point
+}
+
+// Fig7Point is one batch size's outcome.
+type Fig7Point struct {
+	BatchSize int
+	CyclesN   float64
+	L1IN      float64
+}
+
+// Fig7BatchSizes are the paper's swept loads.
+var Fig7BatchSizes = []int{2, 4, 8, 16, 32}
+
+// Fig7 sweeps one workload. ADDICT's batch size (= its admitted
+// concurrency) varies against the fixed full-load Baseline, reproducing the
+// paper's crossover: lightly-loaded ADDICT cannot amortize its pipeline,
+// and "the reduction in the total execution time increases starting from a
+// batch size of 8".
+func Fig7(w *Workbench, workloadName string) Fig7Result {
+	res := Fig7Result{Workload: workloadName}
+	set := w.EvalSet(workloadName)
+	base := w.Result(workloadName, sched.Baseline)
+	bm := base.Machine
+	for _, b := range Fig7BatchSizes {
+		cfg := w.SchedConfig(workloadName)
+		cfg.BatchSize = b
+		r, err := sched.Run(sched.ADDICT, set, cfg)
+		if err != nil {
+			panic(err)
+		}
+		res.Points = append(res.Points, Fig7Point{
+			BatchSize: b,
+			CyclesN:   ratio(float64(r.Makespan), float64(base.Makespan)),
+			L1IN:      ratio(r.Machine.MPKI(r.Machine.L1IMisses), bm.MPKI(bm.L1IMisses)),
+		})
+	}
+	return res
+}
+
+// Render prints the sweep.
+func (r Fig7Result) Render(out io.Writer) {
+	section(out, "Figure 7: Effect of batch size (server load) — "+r.Workload)
+	t := &stats.Table{Header: []string{"batch size", "cycles norm", "L1-I norm"}}
+	for _, p := range r.Points {
+		t.AddRow(stats.N(p.BatchSize), stats.F(p.CyclesN, 3), stats.F(p.L1IN, 3))
+	}
+	t.Render(out)
+}

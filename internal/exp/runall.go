@@ -1,0 +1,111 @@
+package exp
+
+import "io"
+
+// RunAll executes every experiment and renders the full report — the
+// cmd/addict-bench default and the source of EXPERIMENTS.md's measured
+// numbers.
+func RunAll(out io.Writer, p Params) {
+	w := NewWorkbench(p)
+
+	Table1(out, p.Machine)
+	Fig1(w).Render(out)
+	for _, name := range Workloads {
+		Fig2(w, name).Render(out)
+	}
+	Fig3(w).Render(out)
+	for _, name := range []string{"TPC-B", "TPC-C"} {
+		Fig4(w, name).Render(out)
+	}
+	var comparisons []Comparison
+	for _, name := range Workloads {
+		comparisons = append(comparisons, Compare(w, name))
+	}
+	Fig5Render(out, comparisons)
+	Fig6Render(out, comparisons)
+	for _, name := range Workloads {
+		Fig7(w, name).Render(out)
+	}
+	var deep []Fig8aResult
+	for _, name := range Workloads {
+		deep = append(deep, Fig8a(w, name))
+	}
+	Fig8aRender(out, deep)
+	Fig8bRender(out, comparisons)
+	Fig9Render(out, comparisons)
+	for _, name := range Workloads {
+		Ablate(w, name).Render(out)
+	}
+}
+
+// Experiments maps experiment ids to their standalone runners, for the
+// cmd/addict-bench -exp flag.
+var Experiments = map[string]func(out io.Writer, p Params){
+	"table1": func(out io.Writer, p Params) { Table1(out, p.Machine) },
+	"fig1":   func(out io.Writer, p Params) { Fig1(NewWorkbench(p)).Render(out) },
+	"fig2": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		for _, name := range Workloads {
+			Fig2(w, name).Render(out)
+		}
+	},
+	"fig3": func(out io.Writer, p Params) { Fig3(NewWorkbench(p)).Render(out) },
+	"fig4": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		for _, name := range []string{"TPC-B", "TPC-C"} {
+			Fig4(w, name).Render(out)
+		}
+	},
+	"fig5": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		var cs []Comparison
+		for _, name := range Workloads {
+			cs = append(cs, Compare(w, name))
+		}
+		Fig5Render(out, cs)
+	},
+	"fig6": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		var cs []Comparison
+		for _, name := range Workloads {
+			cs = append(cs, Compare(w, name))
+		}
+		Fig6Render(out, cs)
+	},
+	"fig7": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		for _, name := range Workloads {
+			Fig7(w, name).Render(out)
+		}
+	},
+	"fig8a": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		var rs []Fig8aResult
+		for _, name := range Workloads {
+			rs = append(rs, Fig8a(w, name))
+		}
+		Fig8aRender(out, rs)
+	},
+	"fig8b": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		var cs []Comparison
+		for _, name := range Workloads {
+			cs = append(cs, Compare(w, name))
+		}
+		Fig8bRender(out, cs)
+	},
+	"fig9": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		var cs []Comparison
+		for _, name := range Workloads {
+			cs = append(cs, Compare(w, name))
+		}
+		Fig9Render(out, cs)
+	},
+	"ablations": func(out io.Writer, p Params) {
+		w := NewWorkbench(p)
+		for _, name := range Workloads {
+			Ablate(w, name).Render(out)
+		}
+	},
+}

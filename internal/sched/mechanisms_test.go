@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"testing"
+
+	"addict/internal/sim"
+	"addict/internal/trace"
+	"addict/internal/workload"
+)
+
+func TestSTREXPlacementBalancesSkewedBatches(t *testing.T) {
+	// Batches of wildly different sizes must not pile onto low cores.
+	cfg := DefaultConfig(sim.Shallow())
+	s := newStrexHooks(cfg)
+	mk := func(id, batch, events int) *sim.Thread {
+		b := trace.NewBuffer(true)
+		b.TxnBegin(0, "x")
+		for i := 0; i < events; i++ {
+			b.Instr(uint64(0x400000 + i*64))
+		}
+		b.TxnEnd()
+		return &sim.Thread{ID: id, Trace: b.Take()[0], Batch: batch}
+	}
+	// Batch 0 is huge; batches 1..16 are small.
+	var cores []int
+	cores = append(cores, s.Place(mk(0, 0, 5000)))
+	for i := 1; i <= 16; i++ {
+		cores = append(cores, s.Place(mk(i, i, 100)))
+	}
+	// The huge batch's core must not also receive the first small batch.
+	if cores[1] == cores[0] {
+		t.Errorf("least-loaded placement put batch 1 on the loaded core %d", cores[0])
+	}
+	// All threads of one batch stay on one core.
+	c := s.Place(mk(100, 0, 10))
+	if c != cores[0] {
+		t.Errorf("batch 0 thread placed on %d, batch core is %d", c, cores[0])
+	}
+}
+
+func TestADDICTDisableReplicationSingleCores(t *testing.T) {
+	set, _, cfg := testSetup(t, 32)
+	cfg.DisableReplication = true
+	res, err := Run(ADDICT, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 32 {
+		t.Fatalf("threads = %d", res.Threads)
+	}
+	// Static single-core points serialize the pipeline: throughput must be
+	// clearly worse than replicated ADDICT (the ablation's finding).
+	full, err := Run(ADDICT, set, Config{
+		Machine:                cfg.Machine,
+		Profile:                cfg.Profile,
+		STREXEvictionThreshold: cfg.STREXEvictionThreshold,
+		SLICCWindow:            cfg.SLICCWindow,
+		SLICCMissThreshold:     cfg.SLICCMissThreshold,
+		SLICCCooldown:          cfg.SLICCCooldown,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= full.Makespan {
+		t.Errorf("unreplicated ADDICT (%d) not slower than replicated (%d)", res.Makespan, full.Makespan)
+	}
+}
+
+func TestADDICTBatchBarrierMode(t *testing.T) {
+	set, _, cfg := testSetup(t, 48)
+	cfg.BatchBarrier = true
+	res, err := Run(ADDICT, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 48 || res.Migrations == 0 {
+		t.Fatalf("barrier run broken: %+v threads, %d migrations", res.Threads, res.Migrations)
+	}
+	// Barrier admission must still complete deterministically.
+	res2, err := Run(ADDICT, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != res2.Makespan {
+		t.Error("barrier mode nondeterministic")
+	}
+}
+
+func TestSLICCFollowsLeaderCores(t *testing.T) {
+	// Same-type threads starting on the same core must end up reusing the
+	// leader's segment homes: total L1-I misses well below one-full-fault
+	// per thread.
+	b := workload.NewTPCB(5, 0.1)
+	set := workload.GenerateSet(b, 32)
+	cfg := DefaultConfig(sim.Shallow())
+	res, err := Run(SLICC, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(Baseline, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.L1IMisses >= base.Machine.L1IMisses {
+		t.Errorf("SLICC misses %d not below baseline %d", res.Machine.L1IMisses, base.Machine.L1IMisses)
+	}
+}
+
+func TestMechanismsShareSameWork(t *testing.T) {
+	// Every mechanism must execute exactly the same instruction and data
+	// stream — scheduling must never change what a transaction does
+	// (Section 3.2.5, "ADDICT's migrations have no effect on ACID
+	// properties ... it does not change what a transaction executes").
+	set, _, cfg := testSetup(t, 24)
+	var wantInstr, wantReads, wantWrites uint64
+	for i, mech := range Mechanisms {
+		res, err := Run(mech, set, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Machine
+		if i == 0 {
+			wantInstr, wantReads, wantWrites = m.Instructions, m.DataReads, m.DataWrites
+			continue
+		}
+		if m.Instructions != wantInstr || m.DataReads != wantReads || m.DataWrites != wantWrites {
+			t.Errorf("%s work differs: instr %d/%d reads %d/%d writes %d/%d",
+				mech, m.Instructions, wantInstr, m.DataReads, wantReads, m.DataWrites, wantWrites)
+		}
+	}
+}
+
+func TestBatchByTypePreservesArrivalWithinType(t *testing.T) {
+	mk := func(tt trace.TxnType, tag int) *trace.Trace {
+		b := trace.NewBuffer(true)
+		b.TxnBegin(tt, "x")
+		b.Instr(uint64(0x400000 + tag*64)) // tag encodes arrival order
+		b.TxnEnd()
+		return b.Take()[0]
+	}
+	traces := []*trace.Trace{mk(0, 0), mk(1, 1), mk(0, 2), mk(0, 3), mk(1, 4)}
+	out := batchByType(traces, 4)
+	var perType [2][]uint64
+	for _, tr := range out {
+		perType[tr.Type] = append(perType[tr.Type], tr.Events[1].Addr)
+	}
+	for tt, addrs := range perType {
+		for i := 1; i < len(addrs); i++ {
+			if addrs[i] < addrs[i-1] {
+				t.Errorf("type %d arrival order broken: %v", tt, addrs)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package sched implements the four transaction scheduling mechanisms the
+// paper evaluates (Section 4.1): Baseline (traditional one-core-per-
+// transaction), STREX (same-core time multiplexing, ISCA'13), SLICC
+// (hardware-only computation spreading, MICRO'12), and ADDICT (software-
+// guided migration over the Step 1 migration points). All four drive the
+// same trace-replay executor on the same simulated machine, mirroring the
+// paper's "we implement all four scheduling mechanisms on the Zesto
+// simulator".
+package sched
+
+import (
+	"fmt"
+
+	"addict/internal/core"
+	"addict/internal/sim"
+	"addict/internal/trace"
+)
+
+// Mechanism names a scheduling mechanism.
+type Mechanism string
+
+// The evaluated mechanisms.
+const (
+	Baseline Mechanism = "Baseline"
+	STREX    Mechanism = "STREX"
+	SLICC    Mechanism = "SLICC"
+	ADDICT   Mechanism = "ADDICT"
+)
+
+// Mechanisms lists all four in the paper's presentation order.
+var Mechanisms = []Mechanism{Baseline, STREX, SLICC, ADDICT}
+
+// Config parameterizes a scheduling run.
+type Config struct {
+	// Machine is the simulated hardware (Table 1 by default).
+	Machine sim.Config
+	// BatchSize is the number of same-type transactions batched together;
+	// 0 means "number of cores" (the paper's default, Section 3.2.1).
+	BatchSize int
+	// Profile supplies ADDICT's migration points (required for ADDICT).
+	Profile *core.Profile
+
+	// STREXEvictionThreshold is the number of L1-I evictions a thread
+	// tolerates before STREX switches to the next thread in the batch.
+	STREXEvictionThreshold int
+	// SLICCWindow and SLICCMissThreshold define SLICC's miss-burst
+	// detector: a migration triggers when the last SLICCWindow instruction
+	// fetches contain at least SLICCMissThreshold misses.
+	SLICCWindow        int
+	SLICCMissThreshold int
+	// SLICCCooldown is the minimum number of fetches between two SLICC
+	// migrations of the same thread.
+	SLICCCooldown int
+
+	// DisableReplication strips ADDICT's surplus-core replicas and dynamic
+	// stealing, leaving exactly one core per migration point — the
+	// load-balancing ablation of Section 3.2.3's "fewer migration points
+	// than cores" rule.
+	DisableReplication bool
+
+	// BatchBarrier makes ADDICT and SLICC admit strictly one batch at a
+	// time (batch b+1 starts only after batch b drains) instead of the
+	// default sliding window of BatchSize in-flight transactions.
+	BatchBarrier bool
+}
+
+// DefaultConfig returns the paper's evaluation setup on the given machine.
+// The mechanism knobs are calibrated once against the paper's Figure 5/6/9
+// shape (see EXPERIMENTS.md) and frozen.
+func DefaultConfig(machine sim.Config) Config {
+	return Config{
+		Machine:                machine,
+		STREXEvictionThreshold: 64,
+		SLICCWindow:            32,
+		SLICCMissThreshold:     16,
+		SLICCCooldown:          128,
+	}
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return c.Machine.Cores
+}
+
+// Run replays a trace set under the given mechanism and returns the
+// simulation result.
+func Run(mech Mechanism, s *trace.Set, cfg Config) (sim.Result, error) {
+	m := sim.NewMachine(cfg.Machine)
+	switch mech {
+	case Baseline:
+		hooks := &baselineHooks{cores: cfg.Machine.Cores}
+		ex := sim.NewExecutor(m, hooks, s.Traces)
+		// An explicit batch size models server load for Baseline too
+		// (Figure 7 compares mechanisms at equal concurrency).
+		ex.AdmitLimit = cfg.BatchSize
+		return ex.Run(), nil
+	case STREX:
+		ordered := batchByType(s.Traces, cfg.batchSize())
+		hooks := newStrexHooks(cfg)
+		ex := sim.NewExecutor(m, hooks, ordered)
+		applyBatches(ex, ordered, cfg.batchSize())
+		return ex.Run(), nil
+	case SLICC:
+		ordered := batchByType(s.Traces, cfg.batchSize())
+		hooks := newSliccHooks(cfg)
+		ex := sim.NewExecutor(m, hooks, ordered)
+		ex.AdmitLimit = cfg.batchSize()
+		ex.BatchBarrier = cfg.BatchBarrier
+		applyBatches(ex, ordered, cfg.batchSize())
+		hooks.bind(ex)
+		return ex.Run(), nil
+	case ADDICT:
+		if cfg.Profile == nil {
+			return sim.Result{}, fmt.Errorf("sched: ADDICT requires a migration-point profile")
+		}
+		ordered := batchByType(s.Traces, cfg.batchSize())
+		hooks := newAddictHooks(cfg)
+		ex := sim.NewExecutor(m, hooks, ordered)
+		ex.AdmitLimit = cfg.batchSize()
+		ex.BatchBarrier = cfg.BatchBarrier
+		applyBatches(ex, ordered, cfg.batchSize())
+		hooks.bind(ex)
+		return ex.Run(), nil
+	default:
+		return sim.Result{}, fmt.Errorf("sched: unknown mechanism %q", mech)
+	}
+}
+
+// batchByType reorders traces so same-type transactions are grouped into
+// batches of size b, preserving arrival order within a type — "same-type
+// transactions from the list of client requests form a batch" (Algorithm 2
+// lines 16-17). Batches of different types follow each other in first-
+// arrival order.
+func batchByType(traces []*trace.Trace, b int) []*trace.Trace {
+	byType := make(map[trace.TxnType][]*trace.Trace)
+	var typeOrder []trace.TxnType
+	for _, t := range traces {
+		if _, seen := byType[t.Type]; !seen {
+			typeOrder = append(typeOrder, t.Type)
+		}
+		byType[t.Type] = append(byType[t.Type], t)
+	}
+	// Round-robin over types at batch granularity, mimicking a dispatcher
+	// draining per-type request queues.
+	out := make([]*trace.Trace, 0, len(traces))
+	for len(out) < len(traces) {
+		for _, tt := range typeOrder {
+			q := byType[tt]
+			if len(q) == 0 {
+				continue
+			}
+			n := b
+			if n > len(q) {
+				n = len(q)
+			}
+			out = append(out, q[:n]...)
+			byType[tt] = q[n:]
+		}
+	}
+	return out
+}
+
+// applyBatches stamps batch indices onto the executor's threads (threads
+// are created in `ordered` order).
+func applyBatches(ex *sim.Executor, ordered []*trace.Trace, b int) {
+	threads := ex.Threads()
+	batch := 0
+	count := 0
+	var cur trace.TxnType
+	for i, th := range threads {
+		if count == b || (count > 0 && ordered[i].Type != cur) {
+			batch++
+			count = 0
+		}
+		cur = ordered[i].Type
+		th.Batch = batch
+		count++
+	}
+}
+
+// baselineHooks is traditional scheduling: each transaction starts and
+// finishes on one core; cores pull transactions in arrival order.
+type baselineHooks struct {
+	cores int
+	next  int
+}
+
+// Place implements sim.Hooks by round-robin core assignment.
+func (b *baselineHooks) Place(t *sim.Thread) int {
+	c := b.next
+	b.next = (b.next + 1) % b.cores
+	return c
+}
+
+// Act implements sim.Hooks: never migrate, never yield.
+func (b *baselineHooks) Act(*sim.Thread, trace.Event) sim.Action { return sim.Run }
+
+// Observe implements sim.Hooks.
+func (b *baselineHooks) Observe(*sim.Thread, trace.Event, sim.AccessOutcome) {}

@@ -1,0 +1,145 @@
+// Package sim implements the multicore timing simulator the scheduling
+// mechanisms are evaluated on — the reproduction's stand-in for the Zesto
+// full-timing simulation of Section 4.1 (DESIGN.md Section 2 documents the
+// substitution).
+//
+// The machine model follows Table 1: 16 out-of-order cores at 2.5GHz with
+// private 32KB/8-way L1 instruction and data caches (3-cycle load-to-use),
+// a shared 16-bank NUCA L2 (1MB per core, 16-way, 16-cycle hit) on a 2D
+// torus with 1-cycle hops, and ~42ns DDR3 memory. Timing is first-order
+// stall accounting: a base CPI for the 6-wide core plus exposed miss
+// latencies, with the exposure factors encoding Section 4.3's observations
+// (instruction-miss stalls are hard to hide; on-chip data misses are mostly
+// hidden by the OoO core; off-chip data misses are mostly exposed).
+package sim
+
+import (
+	"fmt"
+
+	"addict/internal/cache"
+	"addict/internal/trace"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of cores (Table 1: 16).
+	Cores int
+	// BaseIPC is the sustained non-memory IPC of one 6-wide OoO core.
+	BaseIPC float64
+
+	// L1I and L1D configure the private level-1 caches.
+	L1I, L1D cache.Config
+
+	// PrivateL2 optionally adds a per-core L2 between L1 and the shared
+	// cache (Section 4.6's deeper hierarchy: 256KB, 7 cycles). Nil for the
+	// shallow hierarchy.
+	PrivateL2 *cache.Config
+	// PrivateL2Cycles is the private L2 hit latency.
+	PrivateL2Cycles uint64
+
+	// Shared configures the shared last-level cache (L2 in the shallow
+	// hierarchy, L3 in the deep one): NUCA, banked, torus-connected.
+	Shared cache.Config
+	// SharedBanks is the bank count (Table 1: 16).
+	SharedBanks int
+	// SharedHitCycles is the bank hit latency before hop costs.
+	SharedHitCycles uint64
+	// HopCycles is the per-hop torus latency.
+	HopCycles uint64
+
+	// MemCycles is the main-memory access latency (42ns × 2.5GHz ≈ 105).
+	MemCycles uint64
+
+	// Exposure factors: the fraction of a miss's latency that stalls the
+	// core.
+	InstrMissExposure   float64
+	OnChipDataExposure  float64
+	OffChipDataExposure float64
+
+	// MigrationCycles is the thread-migration cost (Section 3.2.4 estimates
+	// ~90 cycles: 6 cache lines of context through the LLC).
+	MigrationCycles uint64
+	// ContextSwitchCycles is the same-core switch cost (STREX-style
+	// hardware-stratified switching).
+	ContextSwitchCycles uint64
+}
+
+// Shallow returns the Table 1 configuration.
+func Shallow() Config {
+	return Config{
+		Cores:   16,
+		BaseIPC: 2.0,
+		L1I:     cache.Config{SizeBytes: 32 << 10, Ways: 8, Name: "L1-I"},
+		L1D:     cache.Config{SizeBytes: 32 << 10, Ways: 8, Name: "L1-D"},
+		Shared: cache.Config{
+			SizeBytes: 16 << 20, // 1MB per core × 16 cores
+			Ways:      16,
+			Name:      "L2",
+		},
+		SharedBanks:         16,
+		SharedHitCycles:     16,
+		HopCycles:           1,
+		MemCycles:           105, // 42ns at 2.5GHz
+		InstrMissExposure:   1.0,
+		OnChipDataExposure:  0.30,
+		OffChipDataExposure: 0.85,
+		MigrationCycles:     90,
+		ContextSwitchCycles: 90,
+	}
+}
+
+// Deep returns Section 4.6's deeper hierarchy: the shallow machine plus a
+// 256KB per-core L2 with a 7-cycle hit latency; the shared cache becomes
+// the L3.
+func Deep() Config {
+	c := Shallow()
+	c.PrivateL2 = &cache.Config{SizeBytes: 256 << 10, Ways: 8, Name: "L2-private"}
+	c.PrivateL2Cycles = 7
+	c.Shared.Name = "L3"
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: %d cores", c.Cores)
+	}
+	if c.BaseIPC <= 0 {
+		return fmt.Errorf("sim: BaseIPC %v", c.BaseIPC)
+	}
+	if err := c.L1I.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1D.Validate(); err != nil {
+		return err
+	}
+	if c.PrivateL2 != nil {
+		if err := c.PrivateL2.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.Shared.Validate(); err != nil {
+		return err
+	}
+	if c.SharedBanks <= 0 || c.SharedBanks&(c.SharedBanks-1) != 0 {
+		return fmt.Errorf("sim: %d banks", c.SharedBanks)
+	}
+	return nil
+}
+
+// BaseBlockCycles is the cycle cost of executing one instruction block's
+// worth of instructions with no memory stalls.
+func (c Config) BaseBlockCycles() uint64 {
+	return uint64(float64(trace.InstrPerBlock)/c.BaseIPC + 0.5)
+}
+
+// String summarizes the configuration for reports (Table 1 rendering is in
+// internal/exp).
+func (c Config) String() string {
+	kind := "shallow"
+	if c.PrivateL2 != nil {
+		kind = "deep"
+	}
+	return fmt.Sprintf("%d cores, %s hierarchy, %dKB L1, %dMB shared %s",
+		c.Cores, kind, c.L1I.SizeBytes>>10, c.Shared.SizeBytes>>20, c.Shared.Name)
+}

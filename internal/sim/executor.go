@@ -1,0 +1,441 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"addict/internal/trace"
+)
+
+// The executor is a discrete-event engine: threads (one per transaction
+// trace) execute events on cores in global time order, with per-core FIFO
+// wait queues. Scheduling mechanisms steer it through the Hooks interface —
+// the same structure as the paper's evaluation, where Baseline, STREX,
+// SLICC, and ADDICT are all "implemented on the Zesto simulator"
+// (Section 4.1).
+
+// ActionKind is a scheduler directive for the next event of a thread.
+type ActionKind uint8
+
+// Scheduler directives.
+const (
+	// ActRun executes the event on the thread's current core.
+	ActRun ActionKind = iota
+	// ActMigrate moves the thread to core Dest (paying the migration cost),
+	// then executes the event there.
+	ActMigrate
+	// ActYield performs a same-core context switch: the thread goes to the
+	// back of its core's queue and the next queued thread resumes. The
+	// event is retried when the thread runs again (STREX's
+	// time-multiplexing).
+	ActYield
+)
+
+// Action is the scheduler's decision for one event.
+type Action struct {
+	Kind ActionKind
+	// Dest is the target core for ActMigrate.
+	Dest int
+}
+
+// Run is the no-op action.
+var Run = Action{Kind: ActRun}
+
+// MigrateTo builds a migration action.
+func MigrateTo(core int) Action { return Action{Kind: ActMigrate, Dest: core} }
+
+// Yield is the STREX-style same-core switch action.
+var Yield = Action{Kind: ActYield}
+
+// Hooks is the scheduling-mechanism interface.
+type Hooks interface {
+	// Place returns the core whose queue thread t initially joins.
+	Place(t *Thread) int
+	// Act decides what happens before executing event ev of t (which
+	// currently occupies t.Core). Migrating to the current core is
+	// equivalent to ActRun.
+	Act(t *Thread, ev trace.Event) Action
+	// Observe reports the outcome after an event executes.
+	Observe(t *Thread, ev trace.Event, out AccessOutcome)
+}
+
+// Thread is one transaction's replay cursor.
+type Thread struct {
+	ID    int
+	Trace *trace.Trace
+	// Core is the core the thread occupies (or waits at).
+	Core int
+	// Batch is the scheduler-assigned batch number (same-type batching).
+	Batch int
+
+	pos       int
+	time      uint64
+	started   bool
+	startTime uint64
+	endTime   uint64
+	state     threadState
+	// pendingCost is charged when the thread next acquires a core
+	// (migration or context-switch latency).
+	pendingCost uint64
+	// forceRun executes the next event without consulting the scheduler —
+	// set after a migration so each event gets exactly one migration
+	// decision (re-asking after arrival could ping-pong forever).
+	forceRun bool
+}
+
+type threadState uint8
+
+const (
+	stateQueued threadState = iota
+	stateRunning
+	stateDone
+)
+
+// Pos returns the index of the next event to execute.
+func (t *Thread) Pos() int { return t.pos }
+
+// Time returns the thread's virtual clock.
+func (t *Thread) Time() uint64 { return t.time }
+
+// Latency returns the thread's completion latency (first execution →
+// completion); valid once done.
+func (t *Thread) Latency() uint64 { return t.endTime - t.startTime }
+
+// Result aggregates a completed run.
+type Result struct {
+	// Machine is the machine the run executed on (with its counters).
+	Machine *Machine
+	// Makespan is the cycle at which the last thread completed — the
+	// paper's "cycles to complete 1000 traces".
+	Makespan uint64
+	// TotalLatency is the sum of per-transaction latencies.
+	TotalLatency uint64
+	// Threads is the number of transactions executed.
+	Threads int
+	// Migrations counts cross-core thread moves; ContextSwitches counts
+	// same-core switches (Figure 9's overhead metric counts both).
+	Migrations      uint64
+	ContextSwitches uint64
+	// OverheadCycles is the total cycles spent in migration/switch costs.
+	OverheadCycles uint64
+	// CoreActive[c] is the busy-cycle count of core c (power model input).
+	CoreActive []uint64
+}
+
+// AvgLatency returns the mean transaction latency.
+func (r Result) AvgLatency() float64 {
+	if r.Threads == 0 {
+		return 0
+	}
+	return float64(r.TotalLatency) / float64(r.Threads)
+}
+
+// SwitchesPerKInstr returns (migrations+context switches) per 1000
+// instructions — Figure 9's left plot.
+func (r Result) SwitchesPerKInstr() float64 {
+	if r.Machine.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Migrations+r.ContextSwitches) / float64(r.Machine.Instructions) * 1000
+}
+
+// OverheadShare returns the fraction of total core-busy cycles spent on
+// migration/switch overhead — Figure 9's right plot.
+func (r Result) OverheadShare() float64 {
+	var busy uint64
+	for _, c := range r.CoreActive {
+		busy += c
+	}
+	if busy == 0 {
+		return 0
+	}
+	return float64(r.OverheadCycles) / float64(busy)
+}
+
+type coreState struct {
+	occupant int // thread ID, -1 when free
+	queue    []int
+	freeAt   uint64
+	active   uint64
+}
+
+// Executor drives a set of threads over a machine under a scheduling
+// mechanism.
+type Executor struct {
+	M     *Machine
+	hooks Hooks
+
+	// AdmitLimit bounds the number of unfinished admitted threads (0 = no
+	// bound). ADDICT and SLICC admit one batch at a time ("the batch size
+	// is equal to the number of available cores ... to not increase
+	// average transaction latency drastically", Section 3.2.1); Baseline
+	// and STREX bound concurrency through their core queues instead.
+	AdmitLimit int
+	// BatchBarrier admits threads one batch at a time: batch b+1 starts
+	// only when every thread of batch b has finished. Instructions loaded
+	// by the previous batch stay resident, which is the paper's "the
+	// transactions from the previous batch might prefetch the instructions
+	// needed for current batch" (Section 4.5). Overrides AdmitLimit.
+	BatchBarrier bool
+
+	threads []*Thread
+	cores   []coreState
+	ready   threadHeap
+
+	nextAdmit int
+	live      int
+	clock     uint64 // latest event time seen; late admissions join "now"
+
+	migrations, switches, overhead uint64
+}
+
+// NewExecutor prepares a run of the given traces.
+func NewExecutor(m *Machine, hooks Hooks, traces []*trace.Trace) *Executor {
+	ex := &Executor{M: m, hooks: hooks}
+	ex.cores = make([]coreState, m.Cfg.Cores)
+	for i := range ex.cores {
+		ex.cores[i].occupant = -1
+	}
+	for i, tr := range traces {
+		ex.threads = append(ex.threads, &Thread{ID: i, Trace: tr, Core: -1})
+	}
+	return ex
+}
+
+// Threads exposes the run's threads (schedulers use it for batching).
+func (ex *Executor) Threads() []*Thread { return ex.threads }
+
+// Run executes all threads to completion and returns the result.
+func (ex *Executor) Run() Result {
+	// Admission: threads join their placement core's queue in thread order
+	// (which schedulers control by batching), up to AdmitLimit in flight.
+	ex.admit()
+	for ex.ready.Len() > 0 {
+		t := heap.Pop(&ex.ready).(*Thread)
+		if t.time > ex.clock {
+			ex.clock = t.time
+		}
+		ex.step(t)
+	}
+	res := Result{
+		Machine:         ex.M,
+		Threads:         len(ex.threads),
+		Migrations:      ex.migrations,
+		ContextSwitches: ex.switches,
+		OverheadCycles:  ex.overhead,
+	}
+	for _, t := range ex.threads {
+		if t.state != stateDone {
+			panic(fmt.Sprintf("sim: thread %d stuck at event %d/%d (deadlocked queue?)",
+				t.ID, t.pos, len(t.Trace.Events)))
+		}
+		if t.endTime > res.Makespan {
+			res.Makespan = t.endTime
+		}
+		res.TotalLatency += t.Latency()
+	}
+	res.CoreActive = make([]uint64, len(ex.cores))
+	for i := range ex.cores {
+		res.CoreActive[i] = ex.cores[i].active
+	}
+	return res
+}
+
+// step processes one event of a running thread.
+func (ex *Executor) step(t *Thread) {
+	if t.pos >= len(t.Trace.Events) {
+		ex.finish(t)
+		return
+	}
+	ev := t.Trace.Events[t.pos]
+	act := Run
+	if t.forceRun {
+		t.forceRun = false
+	} else {
+		act = ex.hooks.Act(t, ev)
+	}
+	switch act.Kind {
+	case ActMigrate:
+		if act.Dest != t.Core {
+			ex.migrate(t, act.Dest)
+			return
+		}
+		fallthrough // migrating to the current core is just running
+	case ActRun:
+		out := ex.M.Exec(t.Core, ev)
+		if !t.started && ev.IsMemory() {
+			t.started = true
+			t.startTime = t.time
+		}
+		t.time += out.Cycles
+		ex.cores[t.Core].active += out.Cycles
+		t.pos++
+		ex.hooks.Observe(t, ev, out)
+		heap.Push(&ex.ready, t)
+	case ActYield:
+		ex.yield(t)
+	}
+}
+
+// admit places waiting threads until the in-flight bound is reached (or,
+// under BatchBarrier, the whole next batch once the previous one drained).
+func (ex *Executor) admit() {
+	if ex.BatchBarrier {
+		if ex.live > 0 {
+			return
+		}
+		for ex.nextAdmit < len(ex.threads) {
+			t := ex.threads[ex.nextAdmit]
+			if ex.live > 0 && t.Batch != ex.threads[ex.nextAdmit-1].Batch {
+				break
+			}
+			ex.nextAdmit++
+			ex.live++
+			dest := ex.hooks.Place(t)
+			ex.enqueue(t, dest, ex.clock)
+		}
+		return
+	}
+	for ex.nextAdmit < len(ex.threads) && (ex.AdmitLimit == 0 || ex.live < ex.AdmitLimit) {
+		t := ex.threads[ex.nextAdmit]
+		ex.nextAdmit++
+		ex.live++
+		dest := ex.hooks.Place(t)
+		ex.enqueue(t, dest, ex.clock)
+	}
+}
+
+// finish completes a thread, promotes the next waiter on its core, and
+// admits a replacement.
+func (ex *Executor) finish(t *Thread) {
+	t.state = stateDone
+	t.endTime = t.time
+	if !t.started { // empty trace: zero-length latency
+		t.startTime = t.time
+	}
+	ex.releaseCore(t.Core, t.time)
+	t.Core = -1
+	ex.live--
+	ex.admit()
+}
+
+// migrate moves t to dest: the current core is released and t joins dest.
+func (ex *Executor) migrate(t *Thread, dest int) {
+	ex.migrations++
+	ex.overhead += ex.M.Cfg.MigrationCycles
+	from := t.Core
+	ex.releaseCore(from, t.time)
+	t.pendingCost = ex.M.Cfg.MigrationCycles
+	t.forceRun = true
+	ex.enqueue(t, dest, t.time)
+}
+
+// yield rotates t behind the waiters of its own batch on the same core and
+// promotes the queue head — STREX's intra-batch time multiplexing. A thread
+// with no same-batch peers waiting keeps running (nothing to reuse its
+// cache contents), without a switch charged.
+func (ex *Executor) yield(t *Thread) {
+	core := &ex.cores[t.Core]
+	last := -1
+	for i, id := range core.queue {
+		if ex.threads[id].Batch == t.Batch {
+			last = i
+		}
+	}
+	if last == -1 {
+		heap.Push(&ex.ready, t)
+		return
+	}
+	ex.switches++
+	ex.overhead += ex.M.Cfg.ContextSwitchCycles
+	t.state = stateQueued
+	t.pendingCost = ex.M.Cfg.ContextSwitchCycles
+	core.queue = append(core.queue, 0)
+	copy(core.queue[last+2:], core.queue[last+1:])
+	core.queue[last+1] = t.ID
+	core.occupant = -1
+	ex.promote(t.Core, t.time)
+}
+
+// enqueue adds t to a core's queue at time `now`, running it immediately if
+// the core is free.
+func (ex *Executor) enqueue(t *Thread, core int, now uint64) {
+	t.Core = core
+	c := &ex.cores[core]
+	if c.occupant == -1 && len(c.queue) == 0 {
+		c.occupant = t.ID
+		if c.freeAt > t.time {
+			t.time = c.freeAt
+		}
+		if now > t.time {
+			t.time = now
+		}
+		t.time += t.pendingCost
+		t.pendingCost = 0
+		t.state = stateRunning
+		heap.Push(&ex.ready, t)
+		return
+	}
+	t.state = stateQueued
+	c.queue = append(c.queue, t.ID)
+}
+
+// releaseCore frees a core at time `now` and promotes the next waiter.
+func (ex *Executor) releaseCore(core int, now uint64) {
+	c := &ex.cores[core]
+	c.occupant = -1
+	if c.freeAt < now {
+		c.freeAt = now
+	}
+	ex.promote(core, now)
+}
+
+// promote moves the head waiter (if any) onto the core.
+func (ex *Executor) promote(core int, now uint64) {
+	c := &ex.cores[core]
+	if c.occupant != -1 || len(c.queue) == 0 {
+		return
+	}
+	id := c.queue[0]
+	c.queue = c.queue[1:]
+	t := ex.threads[id]
+	c.occupant = id
+	if t.time < now {
+		t.time = now
+	}
+	if t.time < c.freeAt {
+		t.time = c.freeAt
+	}
+	t.time += t.pendingCost
+	t.pendingCost = 0
+	t.state = stateRunning
+	heap.Push(&ex.ready, t)
+}
+
+// QueueLen reports a core's wait-queue length (scheduler load balancing).
+func (ex *Executor) QueueLen(core int) int { return len(ex.cores[core].queue) }
+
+// CoreFree reports whether a core is unoccupied with an empty queue.
+func (ex *Executor) CoreFree(core int) bool {
+	return ex.cores[core].occupant == -1 && len(ex.cores[core].queue) == 0
+}
+
+// threadHeap orders runnable threads by (time, ID) for determinism.
+type threadHeap []*Thread
+
+func (h threadHeap) Len() int { return len(h) }
+func (h threadHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].ID < h[j].ID
+}
+func (h threadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *threadHeap) Push(x interface{}) { *h = append(*h, x.(*Thread)) }
+func (h *threadHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}

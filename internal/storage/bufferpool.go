@@ -1,0 +1,139 @@
+package storage
+
+import "fmt"
+
+// bufferPool keeps page frames resident. The evaluated configuration keeps
+// the whole database in memory (capacity 0 = unbounded, Section 4.1), but a
+// bounded pool with clock eviction and reload from the simulated disk is
+// implemented and tested for completeness.
+//
+// The pool is also where the paper's common-data effect comes from: the
+// directory buckets (fixed addresses at BufDirBase) and the index root
+// frames are touched by every transaction, while record-page frames are
+// spread across the sparse data address space.
+type bufferPool struct {
+	frames   map[PageID]*frame
+	disk     map[PageID]*frame // evicted frames ("disk" contents)
+	capacity int               // 0 = unbounded
+	clock    []PageID
+	hand     int
+
+	hits, misses, evictions uint64
+}
+
+// frame holds either a slotted data page or a B+tree node.
+type frame struct {
+	pid  PageID
+	page *Page  // non-nil for data pages
+	node *bnode // non-nil for index nodes
+	pins int
+	ref  bool
+}
+
+func newBufferPool(capacity int) *bufferPool {
+	return &bufferPool{
+		frames:   make(map[PageID]*frame),
+		disk:     make(map[PageID]*frame),
+		capacity: capacity,
+	}
+}
+
+// dirBucketAddr returns the directory-bucket block read by every hash
+// probe for pid.
+func dirBucketAddr(pid PageID) uint64 {
+	h := uint64(pid) * 0x9e3779b97f4a7c15
+	return BufDirBase + (h%BufDirBuckets)*64
+}
+
+// find runs the instrumented buffer-pool hash probe: buf_find's hash walk
+// and hit (or miss+reload) path, one directory-bucket read, and a latch on
+// the frame. The returned frame is pinned; callers unpin when done.
+//
+// Code-range map for buf_find (50 blocks):
+//
+//	[0,30)  hash + bucket walk
+//	[30,40) hit path (pin, ref bit)
+//	[40,50) miss path (frame allocation / eviction / reload)
+func (bp *bufferPool) find(m *Manager, pid PageID) *frame {
+	m.seg.bufFind.EmitRange(m.rec, 0, 30)
+	m.dataRead(dirBucketAddr(pid))
+	f, ok := bp.frames[pid]
+	if !ok {
+		f, ok = bp.disk[pid]
+		if !ok {
+			panic(fmt.Sprintf("storage: page %d does not exist", pid))
+		}
+		delete(bp.disk, pid)
+		bp.installFrame(m, f)
+	} else {
+		m.seg.bufFind.EmitRange(m.rec, 30, 40)
+		bp.hits++
+	}
+	m.seg.latch.EmitAll(m.rec)
+	m.dataRead(PageAddr(pid, 0)) // frame/page header block
+	f.pins++
+	f.ref = true
+	return f
+}
+
+// unpin releases one pin.
+func (bp *bufferPool) unpin(f *frame) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", f.pid))
+	}
+	f.pins--
+}
+
+// install registers a freshly allocated frame.
+func (bp *bufferPool) install(m *Manager, f *frame) {
+	if _, dup := bp.frames[f.pid]; dup {
+		panic(fmt.Sprintf("storage: page %d installed twice", f.pid))
+	}
+	if _, dup := bp.disk[f.pid]; dup {
+		panic(fmt.Sprintf("storage: page %d installed twice (on disk)", f.pid))
+	}
+	bp.installFrame(m, f)
+}
+
+// installFrame puts a frame into the resident set, evicting an unpinned
+// frame first when the pool is bounded and full. Emits the miss path of
+// buf_find (allocation happens under the same hash-bucket latch).
+func (bp *bufferPool) installFrame(m *Manager, f *frame) {
+	m.seg.bufFind.EmitRange(m.rec, 40, 50)
+	m.dataRead(dirBucketAddr(f.pid))
+	if bp.capacity > 0 && len(bp.frames) >= bp.capacity {
+		if !bp.evictOne() {
+			panic("storage: buffer pool full of pinned pages")
+		}
+	}
+	bp.frames[f.pid] = f
+	bp.clock = append(bp.clock, f.pid)
+	bp.misses++
+}
+
+// evictOne runs the clock algorithm and evicts the first unpinned,
+// unreferenced frame to disk. It returns false if every frame is pinned.
+func (bp *bufferPool) evictOne() bool {
+	for sweep := 0; sweep < 2*len(bp.clock) && len(bp.clock) > 0; sweep++ {
+		bp.hand %= len(bp.clock)
+		pid := bp.clock[bp.hand]
+		f, ok := bp.frames[pid]
+		if !ok { // stale clock entry
+			bp.clock = append(bp.clock[:bp.hand], bp.clock[bp.hand+1:]...)
+			continue
+		}
+		if f.pins == 0 && !f.ref {
+			delete(bp.frames, pid)
+			bp.disk[pid] = f
+			bp.clock = append(bp.clock[:bp.hand], bp.clock[bp.hand+1:]...)
+			bp.evictions++
+			return true
+		}
+		f.ref = false
+		bp.hand++
+	}
+	return false
+}
+
+// resident returns the number of frames in the pool.
+func (bp *bufferPool) resident() int { return len(bp.frames) }

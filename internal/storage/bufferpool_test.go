@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"testing"
+
+	"addict/internal/codemap"
+	"addict/internal/trace"
+)
+
+func TestBufferPoolFindPinsAndHits(t *testing.T) {
+	m := testManager()
+	tbl := m.CreateTable("bp_t")
+	f := tbl.page(tbl.cur)
+	if f.pins != 1 {
+		t.Errorf("pins = %d, want 1", f.pins)
+	}
+	m.bp.unpin(f)
+	if f.pins != 0 {
+		t.Errorf("pins = %d after unpin", f.pins)
+	}
+	if m.bp.hits == 0 {
+		t.Error("no hit recorded")
+	}
+}
+
+func TestBufferPoolUnpinUnderflowPanics(t *testing.T) {
+	m := testManager()
+	tbl := m.CreateTable("bp_t")
+	f := tbl.page(tbl.cur)
+	m.bp.unpin(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("unpin of unpinned frame did not panic")
+		}
+	}()
+	m.bp.unpin(f)
+}
+
+func TestBufferPoolMissingPagePanics(t *testing.T) {
+	m := testManager()
+	defer func() {
+		if recover() == nil {
+			t.Error("find of nonexistent page did not panic")
+		}
+	}()
+	m.bp.find(m, 424242)
+}
+
+func TestBoundedPoolEvictsAndReloads(t *testing.T) {
+	m := NewManager(trace.Discard{}, codemap.NewLayout(), WithBufferPoolFrames(4))
+	// Install 10 pages through a table + manual allocs.
+	var pids []PageID
+	for i := 0; i < 10; i++ {
+		pid := m.allocPage()
+		m.bp.install(m, &frame{pid: pid, page: newPage(pid, 1)})
+		pids = append(pids, pid)
+	}
+	if m.bp.resident() > 4 {
+		t.Fatalf("resident = %d, capacity 4", m.bp.resident())
+	}
+	if m.bp.evictions == 0 {
+		t.Fatal("no evictions in bounded pool")
+	}
+	// Every page must still be reachable (reload from "disk").
+	for _, pid := range pids {
+		f := m.bp.find(m, pid)
+		if f.page == nil || f.pid != pid {
+			t.Fatalf("reload of %d failed", pid)
+		}
+		m.bp.unpin(f)
+	}
+	if m.bp.resident() > 4 {
+		t.Errorf("resident = %d after reloads, capacity 4", m.bp.resident())
+	}
+}
+
+func TestBoundedPoolRespectsPins(t *testing.T) {
+	m := NewManager(trace.Discard{}, codemap.NewLayout(), WithBufferPoolFrames(2))
+	a := m.allocPage()
+	m.bp.install(m, &frame{pid: a, page: newPage(a, 1)})
+	fa := m.bp.find(m, a) // pin a
+	b := m.allocPage()
+	m.bp.install(m, &frame{pid: b, page: newPage(b, 1)})
+	c := m.allocPage()
+	m.bp.install(m, &frame{pid: c, page: newPage(c, 1)}) // must evict b, not pinned a
+	if _, resident := m.bp.frames[a]; !resident {
+		t.Error("pinned page evicted")
+	}
+	m.bp.unpin(fa)
+}
+
+func TestInstallDuplicatePanics(t *testing.T) {
+	m := testManager()
+	pid := m.allocPage()
+	m.bp.install(m, &frame{pid: pid, page: newPage(pid, 1)})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate install did not panic")
+		}
+	}()
+	m.bp.install(m, &frame{pid: pid, page: newPage(pid, 1)})
+}

@@ -1,0 +1,136 @@
+package storage
+
+import "testing"
+
+func TestLockSharedCompatible(t *testing.T) {
+	m := testManager()
+	t1, t2 := m.Begin(), m.Begin()
+	if !m.lock.acquire(m, t1, 1, 100, LockS) {
+		t.Fatal("first S lock denied")
+	}
+	if !m.lock.acquire(m, t2, 1, 100, LockS) {
+		t.Fatal("second S lock denied")
+	}
+	if !m.lock.heldBy(t1.id, 1, 100) || !m.lock.heldBy(t2.id, 1, 100) {
+		t.Error("holders not recorded")
+	}
+}
+
+func TestLockExclusiveConflicts(t *testing.T) {
+	m := testManager()
+	t1, t2 := m.Begin(), m.Begin()
+	if !m.lock.acquire(m, t1, 1, 100, LockX) {
+		t.Fatal("X lock denied")
+	}
+	if m.lock.acquire(m, t2, 1, 100, LockS) {
+		t.Error("S granted over X")
+	}
+	if m.lock.acquire(m, t2, 1, 100, LockX) {
+		t.Error("X granted over X")
+	}
+	_, _, conflicts := m.LockStats()
+	if conflicts != 2 {
+		t.Errorf("conflicts = %d, want 2", conflicts)
+	}
+}
+
+func TestLockReentrantAndUpgrade(t *testing.T) {
+	m := testManager()
+	t1 := m.Begin()
+	if !m.lock.acquire(m, t1, 1, 5, LockS) {
+		t.Fatal("S denied")
+	}
+	if !m.lock.acquire(m, t1, 1, 5, LockS) {
+		t.Fatal("re-entrant S denied")
+	}
+	if !m.lock.acquire(m, t1, 1, 5, LockX) {
+		t.Fatal("sole-holder upgrade denied")
+	}
+	// Upgrade blocked when shared with another txn.
+	t2 := m.Begin()
+	if !m.lock.acquire(m, t2, 1, 6, LockS) || !m.lock.acquire(m, t1, 1, 6, LockS) {
+		t.Fatal("setup S locks denied")
+	}
+	if m.lock.acquire(m, t1, 1, 6, LockX) {
+		t.Error("upgrade granted while shared")
+	}
+}
+
+func TestLockReleaseAll(t *testing.T) {
+	m := testManager()
+	t1, t2 := m.Begin(), m.Begin()
+	m.lock.acquire(m, t1, 1, 1, LockX)
+	m.lock.acquire(m, t1, 1, 2, LockS)
+	m.lock.acquire(m, t1, 1, 2, LockS) // re-entrant
+	m.Commit(t1)
+	if t1.LockCount() != 0 {
+		t.Errorf("locks after commit = %d", t1.LockCount())
+	}
+	if !m.lock.acquire(m, t2, 1, 1, LockX) {
+		t.Error("lock not freed by commit")
+	}
+	if len(m.lock.table) != 1 {
+		t.Errorf("lock table has %d entries, want 1", len(m.lock.table))
+	}
+}
+
+func TestLockDifferentSpacesIndependent(t *testing.T) {
+	m := testManager()
+	t1, t2 := m.Begin(), m.Begin()
+	if !m.lock.acquire(m, t1, 1, 9, LockX) {
+		t.Fatal("X denied")
+	}
+	if !m.lock.acquire(m, t2, 2, 9, LockX) {
+		t.Error("same key in different space blocked")
+	}
+}
+
+func TestAbortReleasesLocks(t *testing.T) {
+	m := testManager()
+	t1 := m.Begin()
+	m.lock.acquire(m, t1, 1, 1, LockX)
+	m.Abort(t1)
+	t2 := m.Begin()
+	if !m.lock.acquire(m, t2, 1, 1, LockX) {
+		t.Error("abort did not release locks")
+	}
+}
+
+func TestCommitPanicsTwice(t *testing.T) {
+	m := testManager()
+	t1 := m.Begin()
+	m.Commit(t1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double commit did not panic")
+		}
+	}()
+	m.Commit(t1)
+}
+
+func TestLogAdvancesAndFlushes(t *testing.T) {
+	m := testManager()
+	t1 := m.Begin()
+	start := m.LogBytes()
+	for i := 0; i < 2000; i++ {
+		m.wal.insert(m, t1, logUpdate, 100)
+	}
+	if m.LogBytes() <= start {
+		t.Error("log did not advance")
+	}
+	if m.wal.flushes == 0 {
+		t.Error("no flush boundary crossed after 2000 records")
+	}
+	if m.wal.lsn != uint64(2001) {
+		t.Errorf("lsn = %d, want 2001", m.wal.lsn)
+	}
+	if t1.lastLSN == 0 {
+		t.Error("txn lastLSN not set")
+	}
+}
+
+func TestLockModeString(t *testing.T) {
+	if LockS.String() != "S" || LockX.String() != "X" {
+		t.Error("LockMode.String wrong")
+	}
+}

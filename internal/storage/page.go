@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted-page layout (data pages):
+//
+//	[0:2)   slot count
+//	[2:4)   free-space pointer (records grow downward from PageSize)
+//	[4:8)   table ID
+//	[8:pageHeaderSize) reserved
+//	[pageHeaderSize : pageHeaderSize+4*nslots) slot array:
+//	        u16 offset | u16 length  (offset 0 = dead slot)
+//	records packed at the tail.
+const (
+	pageHeaderSize = 24
+	slotEntrySize  = 4
+	deadSlotOffset = 0
+)
+
+// Page is a slotted data page. Index nodes use the separate node
+// representation in btree.go; only heap records live in slotted pages.
+type Page struct {
+	id    PageID
+	table uint32
+	buf   [PageSize]byte
+}
+
+func newPage(id PageID, table uint32) *Page {
+	p := &Page{id: id, table: table}
+	binary.LittleEndian.PutUint16(p.buf[2:4], PageSize)
+	binary.LittleEndian.PutUint32(p.buf[4:8], table)
+	return p
+}
+
+// ID returns the page identifier.
+func (p *Page) ID() PageID { return p.id }
+
+// NumSlots returns the slot-array length, including dead slots.
+func (p *Page) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
+}
+
+func (p *Page) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n))
+}
+
+func (p *Page) freePtr() int {
+	return int(binary.LittleEndian.Uint16(p.buf[2:4]))
+}
+
+func (p *Page) setFreePtr(off int) {
+	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(off))
+}
+
+func (p *Page) slot(i int) (off, length int) {
+	base := pageHeaderSize + i*slotEntrySize
+	return int(binary.LittleEndian.Uint16(p.buf[base : base+2])),
+		int(binary.LittleEndian.Uint16(p.buf[base+2 : base+4]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotEntrySize
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], uint16(length))
+}
+
+// FreeSpace returns the bytes available for one more record (including its
+// slot entry).
+func (p *Page) FreeSpace() int {
+	slotEnd := pageHeaderSize + p.NumSlots()*slotEntrySize
+	free := p.freePtr() - slotEnd - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores a record and returns its slot number; ok is false when the
+// page lacks space (the caller then takes the allocate-page path).
+func (p *Page) Insert(rec []byte) (slot int, ok bool) {
+	if len(rec) == 0 || len(rec) > PageSize-pageHeaderSize-slotEntrySize {
+		return 0, false
+	}
+	if p.FreeSpace() < len(rec) {
+		return 0, false
+	}
+	n := p.NumSlots()
+	off := p.freePtr() - len(rec)
+	copy(p.buf[off:], rec)
+	p.setFreePtr(off)
+	p.setSlot(n, off, len(rec))
+	p.setNumSlots(n + 1)
+	return n, true
+}
+
+// Read returns the record stored in slot i; ok is false for dead or
+// out-of-range slots. The returned slice aliases page memory; callers that
+// retain it must copy.
+func (p *Page) Read(i int) (rec []byte, ok bool) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, false
+	}
+	off, length := p.slot(i)
+	if off == deadSlotOffset {
+		return nil, false
+	}
+	return p.buf[off : off+length], true
+}
+
+// Update overwrites slot i. Same-size updates are done in place; smaller
+// ones shrink the slot; larger ones relocate within the page when space
+// allows. ok is false when the record no longer fits.
+func (p *Page) Update(i int, rec []byte) bool {
+	if i < 0 || i >= p.NumSlots() {
+		return false
+	}
+	off, length := p.slot(i)
+	if off == deadSlotOffset {
+		return false
+	}
+	switch {
+	case len(rec) <= length:
+		copy(p.buf[off:], rec)
+		p.setSlot(i, off, len(rec))
+		return true
+	default:
+		// Relocate: append at the free pointer if it fits.
+		slotEnd := pageHeaderSize + p.NumSlots()*slotEntrySize
+		newOff := p.freePtr() - len(rec)
+		if newOff < slotEnd {
+			return false
+		}
+		copy(p.buf[newOff:], rec)
+		p.setFreePtr(newOff)
+		p.setSlot(i, newOff, len(rec))
+		return true
+	}
+}
+
+// Delete marks slot i dead. The space is not compacted (Shore-MT defers
+// compaction too); ok is false for invalid slots.
+func (p *Page) Delete(i int) bool {
+	if i < 0 || i >= p.NumSlots() {
+		return false
+	}
+	off, _ := p.slot(i)
+	if off == deadSlotOffset {
+		return false
+	}
+	p.setSlot(i, deadSlotOffset, 0)
+	return true
+}
+
+// LiveRecords returns the number of non-dead slots.
+func (p *Page) LiveRecords() int {
+	n := 0
+	for i := 0; i < p.NumSlots(); i++ {
+		if off, _ := p.slot(i); off != deadSlotOffset {
+			n++
+		}
+	}
+	return n
+}
+
+// addrOfSlot returns the memory address of the record bytes in slot i, for
+// trace emission.
+func (p *Page) addrOfSlot(i int) uint64 {
+	off, _ := p.slot(i)
+	return PageAddr(p.id, off)
+}
+
+func (p *Page) String() string {
+	return fmt.Sprintf("page %d: %d slots, %d live, %dB free", p.id, p.NumSlots(), p.LiveRecords(), p.FreeSpace())
+}

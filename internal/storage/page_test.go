@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertRead(t *testing.T) {
+	p := newPage(7, 1)
+	rec := []byte("hello, slotted world")
+	slot, ok := p.Insert(rec)
+	if !ok {
+		t.Fatal("insert failed on empty page")
+	}
+	got, ok := p.Read(slot)
+	if !ok || !bytes.Equal(got, rec) {
+		t.Fatalf("Read = %q, %v; want %q", got, ok, rec)
+	}
+	if p.NumSlots() != 1 || p.LiveRecords() != 1 {
+		t.Errorf("slots=%d live=%d, want 1/1", p.NumSlots(), p.LiveRecords())
+	}
+}
+
+func TestPageFillsThenRejects(t *testing.T) {
+	p := newPage(1, 1)
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		if _, ok := p.Insert(rec); !ok {
+			break
+		}
+		n++
+	}
+	// 8KB page, 24B header, 104B per record+slot: ~78 records.
+	if n < 70 || n > 82 {
+		t.Errorf("page held %d 100-byte records, want ~78", n)
+	}
+	if p.FreeSpace() >= 104 {
+		t.Errorf("page claims %dB free after rejecting insert", p.FreeSpace())
+	}
+}
+
+func TestPageRejectsOversizeAndEmpty(t *testing.T) {
+	p := newPage(1, 1)
+	if _, ok := p.Insert(nil); ok {
+		t.Error("inserted empty record")
+	}
+	if _, ok := p.Insert(make([]byte, PageSize)); ok {
+		t.Error("inserted page-sized record")
+	}
+}
+
+func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	p := newPage(1, 1)
+	slot, _ := p.Insert([]byte("aaaa"))
+	if !p.Update(slot, []byte("bb")) {
+		t.Fatal("shrinking update failed")
+	}
+	got, _ := p.Read(slot)
+	if string(got) != "bb" {
+		t.Errorf("after shrink: %q", got)
+	}
+	if !p.Update(slot, []byte("cccccccccc")) {
+		t.Fatal("growing update failed")
+	}
+	got, _ = p.Read(slot)
+	if string(got) != "cccccccccc" {
+		t.Errorf("after grow: %q", got)
+	}
+}
+
+func TestPageUpdateGrowExhaustsSpace(t *testing.T) {
+	p := newPage(1, 1)
+	slot, _ := p.Insert([]byte("x"))
+	big := make([]byte, PageSize)
+	if p.Update(slot, big) {
+		t.Error("grow beyond page capacity succeeded")
+	}
+	// Original record must be intact.
+	got, ok := p.Read(slot)
+	if !ok || string(got) != "x" {
+		t.Errorf("record damaged by failed grow: %q, %v", got, ok)
+	}
+}
+
+func TestPageDelete(t *testing.T) {
+	p := newPage(1, 1)
+	s0, _ := p.Insert([]byte("one"))
+	s1, _ := p.Insert([]byte("two"))
+	if !p.Delete(s0) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := p.Read(s0); ok {
+		t.Error("read of dead slot succeeded")
+	}
+	if p.Delete(s0) {
+		t.Error("double delete succeeded")
+	}
+	got, ok := p.Read(s1)
+	if !ok || string(got) != "two" {
+		t.Errorf("neighbor slot damaged: %q, %v", got, ok)
+	}
+	if p.LiveRecords() != 1 {
+		t.Errorf("LiveRecords = %d, want 1", p.LiveRecords())
+	}
+}
+
+func TestPageBoundsChecked(t *testing.T) {
+	p := newPage(1, 1)
+	if _, ok := p.Read(-1); ok {
+		t.Error("Read(-1) succeeded")
+	}
+	if _, ok := p.Read(0); ok {
+		t.Error("Read of nonexistent slot succeeded")
+	}
+	if p.Update(3, []byte("x")) {
+		t.Error("Update of nonexistent slot succeeded")
+	}
+	if p.Delete(3) {
+		t.Error("Delete of nonexistent slot succeeded")
+	}
+}
+
+// TestPagePropertyRoundtrip inserts random records and verifies every one
+// reads back intact regardless of interleaved updates and deletes.
+func TestPagePropertyRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newPage(1, 1)
+		type entry struct {
+			slot int
+			data []byte
+		}
+		var live []entry
+		for i := 0; i < 300; i++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // insert
+				rec := make([]byte, 1+rng.Intn(200))
+				rng.Read(rec)
+				if slot, ok := p.Insert(rec); ok {
+					live = append(live, entry{slot, append([]byte(nil), rec...)})
+				}
+			case op < 8 && len(live) > 0: // update (same size, content change)
+				i := rng.Intn(len(live))
+				rec := make([]byte, len(live[i].data))
+				rng.Read(rec)
+				if p.Update(live[i].slot, rec) {
+					live[i].data = append([]byte(nil), rec...)
+				}
+			case len(live) > 0: // delete
+				i := rng.Intn(len(live))
+				if !p.Delete(live[i].slot) {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		if p.LiveRecords() != len(live) {
+			return false
+		}
+		for _, e := range live {
+			got, ok := p.Read(e.slot)
+			if !ok || !bytes.Equal(got, e.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format, used by cmd/tracegen to persist trace sets.
+//
+//	header:  magic "ADCT" | version u16 | workload string | type names
+//	traces:  count u32, then per trace: type u16 | name string | events
+//	events:  count u32, then per event: kind u8 | op u8 | aux u16 | addr u64
+//
+// Strings are u16 length + bytes. All integers are little-endian. The format
+// favors simplicity and determinism over compactness; a 1000-trace TPC-C set
+// is a few tens of MB.
+
+const (
+	codecMagic   = "ADCT"
+	codecVersion = 1
+)
+
+// WriteSet serializes a trace set to w.
+func WriteSet(w io.Writer, s *Set) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(codecVersion)); err != nil {
+		return err
+	}
+	if err := writeString(bw, s.Workload); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(s.TypeNames))); err != nil {
+		return err
+	}
+	for _, n := range s.TypeNames {
+		if err := writeString(bw, n); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.Traces))); err != nil {
+		return err
+	}
+	for _, t := range s.Traces {
+		if err := writeTrace(bw, t); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSet deserializes a trace set from r.
+func ReadSet(r io.Reader) (*Set, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	s := &Set{}
+	var err error
+	if s.Workload, err = readString(br); err != nil {
+		return nil, err
+	}
+	var nNames uint16
+	if err := binary.Read(br, binary.LittleEndian, &nNames); err != nil {
+		return nil, err
+	}
+	s.TypeNames = make([]string, nNames)
+	for i := range s.TypeNames {
+		if s.TypeNames[i], err = readString(br); err != nil {
+			return nil, err
+		}
+	}
+	var nTraces uint32
+	if err := binary.Read(br, binary.LittleEndian, &nTraces); err != nil {
+		return nil, err
+	}
+	s.Traces = make([]*Trace, nTraces)
+	for i := range s.Traces {
+		if s.Traces[i], err = readTrace(br); err != nil {
+			return nil, fmt.Errorf("trace: reading trace %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+func writeTrace(w io.Writer, t *Trace) error {
+	if err := binary.Write(w, binary.LittleEndian, uint16(t.Type)); err != nil {
+		return err
+	}
+	if err := writeString(w, t.TypeName); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(t.Events))); err != nil {
+		return err
+	}
+	buf := make([]byte, 12)
+	for _, e := range t.Events {
+		buf[0] = byte(e.Kind)
+		buf[1] = byte(e.Op)
+		binary.LittleEndian.PutUint16(buf[2:], e.Aux)
+		binary.LittleEndian.PutUint64(buf[4:], e.Addr)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	var tt uint16
+	if err := binary.Read(r, binary.LittleEndian, &tt); err != nil {
+		return nil, err
+	}
+	t.Type = TxnType(tt)
+	var err error
+	if t.TypeName, err = readString(r); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	t.Events = make([]Event, n)
+	buf := make([]byte, 12)
+	for i := range t.Events {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		t.Events[i] = Event{
+			Kind: EventKind(buf[0]),
+			Op:   OpType(buf[1]),
+			Aux:  binary.LittleEndian.Uint16(buf[2:]),
+			Addr: binary.LittleEndian.Uint64(buf[4:]),
+		}
+	}
+	return t, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xffff {
+		return fmt.Errorf("trace: string too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

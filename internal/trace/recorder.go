@@ -1,0 +1,148 @@
+package trace
+
+import "fmt"
+
+// Recorder receives the memory events produced by an executing transaction.
+// The storage manager calls it from every instrumented routine; trace
+// generation uses the buffering implementation below, while tests may supply
+// lightweight fakes.
+type Recorder interface {
+	// TxnBegin marks the entry of a transaction of the given type.
+	TxnBegin(tt TxnType, name string)
+	// TxnEnd marks the exit of the current transaction.
+	TxnEnd()
+	// OpBegin marks the entry of a database operation.
+	OpBegin(op OpType)
+	// OpEnd marks the exit of the current database operation.
+	OpEnd(op OpType)
+	// Instr records the fetch of one 64-byte instruction block.
+	Instr(blockAddr uint64)
+	// Data records a data access to the 64-byte block containing addr.
+	Data(addr uint64, write bool)
+}
+
+// Buffer is a Recorder that accumulates events into Trace values.
+// It is not safe for concurrent use; trace generation is deterministic and
+// single-goroutine (DESIGN.md Section 2).
+type Buffer struct {
+	cur    *Trace
+	done   []*Trace
+	curOp  OpType
+	inTxn  bool
+	inOp   bool
+	panics bool
+}
+
+// NewBuffer returns an empty trace buffer. If strict is true, protocol
+// violations (nested operations, events outside transactions) panic instead
+// of being ignored; the storage-manager tests run strict.
+func NewBuffer(strict bool) *Buffer {
+	return &Buffer{panics: strict}
+}
+
+// TxnBegin implements Recorder.
+func (b *Buffer) TxnBegin(tt TxnType, name string) {
+	if b.inTxn {
+		b.violation("TxnBegin inside open transaction")
+		return
+	}
+	b.inTxn = true
+	b.cur = &Trace{Type: tt, TypeName: name}
+	b.cur.Events = append(b.cur.Events, Event{Kind: KindTxnBegin, Aux: uint16(tt)})
+}
+
+// TxnEnd implements Recorder.
+func (b *Buffer) TxnEnd() {
+	if !b.inTxn {
+		b.violation("TxnEnd without TxnBegin")
+		return
+	}
+	if b.inOp {
+		b.violation("TxnEnd with open operation")
+		return
+	}
+	b.cur.Events = append(b.cur.Events, Event{Kind: KindTxnEnd})
+	b.done = append(b.done, b.cur)
+	b.cur = nil
+	b.inTxn = false
+}
+
+// OpBegin implements Recorder.
+func (b *Buffer) OpBegin(op OpType) {
+	if !b.inTxn || b.inOp {
+		b.violation("OpBegin outside transaction or inside open operation")
+		return
+	}
+	b.inOp = true
+	b.curOp = op
+	b.cur.Events = append(b.cur.Events, Event{Kind: KindOpBegin, Op: op})
+}
+
+// OpEnd implements Recorder.
+func (b *Buffer) OpEnd(op OpType) {
+	if !b.inOp || op != b.curOp {
+		b.violation("OpEnd mismatch")
+		return
+	}
+	b.inOp = false
+	b.cur.Events = append(b.cur.Events, Event{Kind: KindOpEnd, Op: op})
+}
+
+// Instr implements Recorder.
+func (b *Buffer) Instr(blockAddr uint64) {
+	if !b.inTxn {
+		return // population and background work are not traced
+	}
+	b.cur.Events = append(b.cur.Events, Event{Kind: KindInstr, Addr: blockAddr &^ (BlockSize - 1)})
+}
+
+// Data implements Recorder.
+func (b *Buffer) Data(addr uint64, write bool) {
+	if !b.inTxn {
+		return
+	}
+	k := KindDataRead
+	if write {
+		k = KindDataWrite
+	}
+	b.cur.Events = append(b.cur.Events, Event{Kind: k, Addr: addr &^ (BlockSize - 1)})
+}
+
+// Take returns the completed traces and resets the buffer's completed list.
+func (b *Buffer) Take() []*Trace {
+	t := b.done
+	b.done = nil
+	return t
+}
+
+// Len returns the number of completed traces held by the buffer.
+func (b *Buffer) Len() int { return len(b.done) }
+
+func (b *Buffer) violation(msg string) {
+	if b.panics {
+		panic(fmt.Sprintf("trace: protocol violation: %s", msg))
+	}
+}
+
+// Discard is a Recorder that drops everything. The storage manager uses it
+// during database population, which the paper excludes from tracing
+// ("after a warm-up period", Section 4.1).
+type Discard struct{}
+
+// TxnBegin implements Recorder.
+func (Discard) TxnBegin(TxnType, string) {}
+
+// TxnEnd implements Recorder.
+func (Discard) TxnEnd() {}
+
+// OpBegin implements Recorder.
+func (Discard) OpBegin(OpType) {}
+
+// OpEnd implements Recorder.
+func (Discard) OpEnd(OpType) {}
+
+// Instr implements Recorder.
+func (Discard) Instr(uint64) {}
+
+// Data implements Recorder.
+func (Discard) Data(uint64, bool) {}

@@ -1,0 +1,321 @@
+// Package trace defines the memory-trace model shared by every component of
+// the ADDICT reproduction: the storage manager emits traces, the
+// characterization study analyzes them, and the scheduling mechanisms replay
+// them on the timing simulator.
+//
+// A trace is the per-transaction sequence of instruction-block fetches and
+// data accesses, delimited by transaction and database-operation markers —
+// the same abstraction the paper obtains from Pin-collected x86 traces
+// (Section 4.1), at 64-byte cache-block granularity (Section 2.1).
+package trace
+
+import "fmt"
+
+// BlockSize is the cache-block granularity of all recorded addresses, in
+// bytes. The paper measures footprints "as the unique 64byte cache blocks
+// requested by each operation" (Section 2.1).
+const BlockSize = 64
+
+// BlockShift is log2(BlockSize).
+const BlockShift = 6
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+// Trace event kinds. Instruction fetches and data accesses carry an address;
+// the Begin/End markers carry transaction/operation identifiers, mirroring
+// the "indicators ... that correspond to the entry and exit points of the
+// transactions or operations" taken as input by Algorithm 1.
+const (
+	// KindInstr is a fetch of one 64-byte instruction block. Executing it
+	// represents executing the instructions it holds (see InstrPerBlock).
+	KindInstr EventKind = iota
+	// KindDataRead is a data load from a 64-byte block.
+	KindDataRead
+	// KindDataWrite is a data store to a 64-byte block.
+	KindDataWrite
+	// KindTxnBegin marks a transaction entry; Aux holds the TxnType.
+	KindTxnBegin
+	// KindTxnEnd marks a transaction exit.
+	KindTxnEnd
+	// KindOpBegin marks a database-operation entry; Aux holds the OpType.
+	KindOpBegin
+	// KindOpEnd marks a database-operation exit; Aux holds the OpType.
+	KindOpEnd
+)
+
+// String returns a short human-readable name for the kind.
+func (k EventKind) String() string {
+	switch k {
+	case KindInstr:
+		return "I"
+	case KindDataRead:
+		return "R"
+	case KindDataWrite:
+		return "W"
+	case KindTxnBegin:
+		return "TxnBegin"
+	case KindTxnEnd:
+		return "TxnEnd"
+	case KindOpBegin:
+		return "OpBegin"
+	case KindOpEnd:
+		return "OpEnd"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// InstrPerBlock is the number of dynamic instructions represented by one
+// instruction-block fetch event. x86 instructions average ~4 bytes, so a
+// 64-byte block holds ~16; MPKI figures divide miss counts by
+// (blocks executed × InstrPerBlock) / 1000.
+const InstrPerBlock = 16
+
+// OpType identifies one of the predefined database operations of
+// Section 2.1.
+type OpType uint8
+
+// The database operations transactions are composed of. OpNone marks code
+// executed outside any operation (transaction glue). OpCommit is not one of
+// the paper's five operations: it brackets the commit epilogue (commit log
+// record + lock release), giving the scheduler an action boundary for the
+// per-transaction epilogue code exactly as for the operations proper.
+const (
+	OpNone OpType = iota
+	OpIndexProbe
+	OpIndexScan
+	OpUpdateTuple
+	OpInsertTuple
+	OpDeleteTuple
+	OpCommit
+
+	NumOpTypes = 7
+)
+
+// String returns the paper's name for the operation.
+func (o OpType) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpIndexProbe:
+		return "probe"
+	case OpIndexScan:
+		return "scan"
+	case OpUpdateTuple:
+		return "update"
+	case OpInsertTuple:
+		return "insert"
+	case OpDeleteTuple:
+		return "delete"
+	case OpCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("OpType(%d)", uint8(o))
+	}
+}
+
+// TxnType identifies a transaction type within a workload (e.g. TPC-C
+// NewOrder). Values are workload-scoped; package workload assigns them.
+type TxnType uint16
+
+// Event is one element of a trace. It is deliberately compact (16 bytes)
+// because the stability experiment (Section 4.2) processes 11,000 traces per
+// workload.
+type Event struct {
+	// Addr is the 64-byte-aligned block address for KindInstr/KindDataRead/
+	// KindDataWrite events, zero otherwise.
+	Addr uint64
+	// Kind discriminates the event.
+	Kind EventKind
+	// Op is the OpType for KindOpBegin/KindOpEnd events.
+	Op OpType
+	// Aux carries the TxnType for KindTxnBegin events.
+	Aux uint16
+}
+
+// Block returns the block address of a memory event (already aligned).
+func (e Event) Block() uint64 { return e.Addr }
+
+// IsMemory reports whether the event is an instruction fetch or data access.
+func (e Event) IsMemory() bool { return e.Kind <= KindDataWrite }
+
+// Trace is the recorded execution of a single transaction.
+type Trace struct {
+	// Type is the transaction type that produced the trace.
+	Type TxnType
+	// TypeName is the workload's human-readable transaction name
+	// (e.g. "NewOrder").
+	TypeName string
+	// Events is the event sequence, beginning with KindTxnBegin and ending
+	// with KindTxnEnd.
+	Events []Event
+}
+
+// Instructions returns the number of dynamic instructions represented by the
+// trace (instruction-block fetches × InstrPerBlock).
+func (t *Trace) Instructions() uint64 {
+	var blocks uint64
+	for _, e := range t.Events {
+		if e.Kind == KindInstr {
+			blocks++
+		}
+	}
+	return blocks * InstrPerBlock
+}
+
+// InstrBlocks returns the number of instruction-block fetch events.
+func (t *Trace) InstrBlocks() uint64 {
+	var blocks uint64
+	for _, e := range t.Events {
+		if e.Kind == KindInstr {
+			blocks++
+		}
+	}
+	return blocks
+}
+
+// Footprint returns the sets of unique instruction and data blocks touched by
+// the trace.
+func (t *Trace) Footprint() (instr, data map[uint64]struct{}) {
+	instr = make(map[uint64]struct{})
+	data = make(map[uint64]struct{})
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KindInstr:
+			instr[e.Addr] = struct{}{}
+		case KindDataRead, KindDataWrite:
+			data[e.Addr] = struct{}{}
+		}
+	}
+	return instr, data
+}
+
+// OpSlice is the sub-trace of a single database-operation invocation:
+// Events[Start:End] covers everything between (and including) the operation's
+// OpBegin and OpEnd markers.
+type OpSlice struct {
+	Op         OpType
+	Start, End int
+}
+
+// Ops returns the database-operation invocations in the trace, in execution
+// order. Operations do not nest (the storage manager's five operations are
+// flat API calls, Section 2.1).
+func (t *Trace) Ops() []OpSlice {
+	var ops []OpSlice
+	start := -1
+	var cur OpType
+	for i, e := range t.Events {
+		switch e.Kind {
+		case KindOpBegin:
+			start = i
+			cur = e.Op
+		case KindOpEnd:
+			if start >= 0 {
+				ops = append(ops, OpSlice{Op: cur, Start: start, End: i + 1})
+				start = -1
+			}
+		}
+	}
+	return ops
+}
+
+// Validate checks the structural invariants of a trace: it must be bracketed
+// by TxnBegin/TxnEnd, operations must be properly paired and non-nested, and
+// every memory event must carry a block-aligned address.
+func (t *Trace) Validate() error {
+	if len(t.Events) < 2 {
+		return fmt.Errorf("trace: too short (%d events)", len(t.Events))
+	}
+	if t.Events[0].Kind != KindTxnBegin {
+		return fmt.Errorf("trace: first event is %v, want TxnBegin", t.Events[0].Kind)
+	}
+	if t.Events[len(t.Events)-1].Kind != KindTxnEnd {
+		return fmt.Errorf("trace: last event is %v, want TxnEnd", t.Events[len(t.Events)-1].Kind)
+	}
+	inOp := false
+	var openOp OpType
+	for i, e := range t.Events {
+		switch e.Kind {
+		case KindTxnBegin:
+			if i != 0 {
+				return fmt.Errorf("trace: TxnBegin at interior position %d", i)
+			}
+		case KindTxnEnd:
+			if i != len(t.Events)-1 {
+				return fmt.Errorf("trace: TxnEnd at interior position %d", i)
+			}
+			if inOp {
+				return fmt.Errorf("trace: TxnEnd with operation %v still open", openOp)
+			}
+		case KindOpBegin:
+			if inOp {
+				return fmt.Errorf("trace: nested OpBegin(%v) inside %v at %d", e.Op, openOp, i)
+			}
+			inOp = true
+			openOp = e.Op
+		case KindOpEnd:
+			if !inOp {
+				return fmt.Errorf("trace: OpEnd(%v) without OpBegin at %d", e.Op, i)
+			}
+			if e.Op != openOp {
+				return fmt.Errorf("trace: OpEnd(%v) does not match OpBegin(%v) at %d", e.Op, openOp, i)
+			}
+			inOp = false
+		case KindInstr, KindDataRead, KindDataWrite:
+			if e.Addr%BlockSize != 0 {
+				return fmt.Errorf("trace: unaligned address %#x at %d", e.Addr, i)
+			}
+		default:
+			return fmt.Errorf("trace: unknown event kind %d at %d", e.Kind, i)
+		}
+	}
+	return nil
+}
+
+// Set is an ordered collection of transaction traces — the unit the
+// experiments operate on ("11000 transaction traces for each workload",
+// Section 4.1).
+type Set struct {
+	// Workload is the benchmark name ("TPC-B", "TPC-C", "TPC-E").
+	Workload string
+	// TypeNames maps TxnType to transaction names for this workload.
+	TypeNames []string
+	// Traces holds the transaction traces in generation order.
+	Traces []*Trace
+}
+
+// ByType groups trace indices by transaction type.
+func (s *Set) ByType() map[TxnType][]int {
+	m := make(map[TxnType][]int)
+	for i, t := range s.Traces {
+		m[t.Type] = append(m[t.Type], i)
+	}
+	return m
+}
+
+// Slice returns a new Set sharing the same metadata but holding only
+// Traces[lo:hi]. It mirrors the paper's trace batching ("the first 1000 ...
+// the next batch of 1000", Section 4.1).
+func (s *Set) Slice(lo, hi int) *Set {
+	return &Set{Workload: s.Workload, TypeNames: s.TypeNames, Traces: s.Traces[lo:hi]}
+}
+
+// TotalInstructions sums Instructions over all traces.
+func (s *Set) TotalInstructions() uint64 {
+	var n uint64
+	for _, t := range s.Traces {
+		n += t.Instructions()
+	}
+	return n
+}
+
+// TypeName returns the name of a transaction type, falling back to a numeric
+// form for unknown types.
+func (s *Set) TypeName(tt TxnType) string {
+	if int(tt) < len(s.TypeNames) {
+		return s.TypeNames[tt]
+	}
+	return fmt.Sprintf("txn%d", tt)
+}
