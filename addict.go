@@ -18,6 +18,22 @@
 //		base.Machine.MPKI(base.Machine.L1IMisses),
 //		res.Machine.MPKI(res.Machine.L1IMisses))
 //
+// # Parallel experiment engine
+//
+// The evaluation harness runs either serially (RunAllExperiments) or on a
+// bounded worker pool (RunAllExperimentsParallel); the two produce
+// byte-identical reports. The determinism guarantee rests on three legs:
+// trace generation is sharded — an N-trace request splits into fixed-size
+// shards, each produced by an independent benchmark instance seeded from
+// (seed, shard) by a splittable PRNG, so the merged set never depends on
+// the worker count; shared artifacts (trace sets, profiles, replay
+// results) are single-flight memoized in a concurrency-safe workbench; and
+// the simulator itself is a deterministic discrete-event engine with a
+// total (time, thread-ID) order. ScheduleAll replays a trace set under all
+// four mechanisms concurrently, and GenerateTracesSharded exposes the
+// worker-count-independent trace generator; cmd/addict-bench drives the
+// pool via its -parallel flag.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
 package addict
@@ -25,10 +41,12 @@ package addict
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"addict/internal/codemap"
 	"addict/internal/core"
 	"addict/internal/exp"
+	"addict/internal/pool"
 	"addict/internal/power"
 	"addict/internal/sched"
 	"addict/internal/sim"
@@ -132,6 +150,26 @@ func NewCustomWorkload(name string, m *StorageManager, seed int64, specs []TxnSp
 // GenerateTraces collects n transaction traces from the workload.
 func GenerateTraces(w *Workload, n int) *TraceSet { return workload.GenerateSet(w, n) }
 
+// GenerateTracesSharded generates n traces of the named benchmark ("TPC-B",
+// "TPC-C", "TPC-E") as independent warm-started shards on up to `workers`
+// goroutines (workers < 1 selects runtime.GOMAXPROCS(0), like every
+// parallel entry point of this package). The result is byte-identical for
+// every worker count: shard s is seeded deterministically from (seed, s)
+// by a splittable PRNG and populates its own database, so shards neither
+// share state nor depend on completion order.
+func GenerateTracesSharded(name string, seed int64, scale float64, n, workers int) (*TraceSet, error) {
+	return workload.GenerateSetSharded(name, seed, scale, 0, n, workload.DefaultShardSize, normWorkers(workers))
+}
+
+// normWorkers applies the package-wide worker-count convention: values
+// below 1 select runtime.GOMAXPROCS(0).
+func normWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // StreamTraces generates n traces one at a time without retaining them —
 // the memory-bounded path for large stability runs.
 func StreamTraces(w *Workload, n int, fn func(i int, t *Trace)) { workload.Stream(w, n, fn) }
@@ -174,6 +212,29 @@ func Schedule(mech Mechanism, s *TraceSet, opts Options) (Result, error) {
 	return sched.Run(mech, s, cfg)
 }
 
+// ScheduleAll replays a trace set under every mechanism (Baseline, STREX,
+// SLICC, ADDICT) concurrently on up to `workers` goroutines (workers < 1
+// selects runtime.GOMAXPROCS(0)) and returns the per-mechanism results.
+// Each replay builds its own simulated machine and scheduler state over
+// the shared read-only trace set and profile, so the results are identical
+// to four serial Schedule calls. Options.Profile is required (ADDICT needs
+// its migration points).
+func ScheduleAll(s *TraceSet, opts Options, workers int) (map[Mechanism]Result, error) {
+	results := make([]Result, len(Mechanisms))
+	errs := make([]error, len(Mechanisms))
+	pool.Run(normWorkers(workers), len(Mechanisms), func(i int) {
+		results[i], errs[i] = Schedule(Mechanisms[i], s, opts)
+	})
+	out := make(map[Mechanism]Result, len(Mechanisms))
+	for i, mech := range Mechanisms {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("addict: %s: %w", mech, errs[i])
+		}
+		out[mech] = results[i]
+	}
+	return out, nil
+}
+
 // AnalyzePower computes the activity-based power report of a run.
 func AnalyzePower(r Result) PowerReport { return power.Analyze(r, power.DefaultWeights()) }
 
@@ -185,17 +246,33 @@ func DefaultExperimentParams() ExperimentParams { return exp.DefaultParams() }
 func QuickExperimentParams() ExperimentParams { return exp.QuickParams() }
 
 // RunAllExperiments regenerates every table and figure of the paper's
-// evaluation, writing the report to out.
+// evaluation serially, writing the report to out.
 func RunAllExperiments(out io.Writer, p ExperimentParams) { exp.RunAll(out, p) }
 
+// RunAllExperimentsParallel regenerates the full report on a bounded worker
+// pool (workers < 1 selects runtime.GOMAXPROCS(0)). The output is
+// byte-identical to RunAllExperiments: independent experiment units run
+// concurrently, each renderer buffers its output, and the buffers are
+// emitted in the serial presentation order.
+func RunAllExperimentsParallel(out io.Writer, p ExperimentParams, workers int) {
+	exp.RunAllParallel(out, p, workers)
+}
+
 // RunExperiment runs a single experiment by id ("table1", "fig1" ...
-// "fig9", "ablations").
+// "fig9", "ablations") serially.
 func RunExperiment(id string, out io.Writer, p ExperimentParams) error {
+	return RunExperimentParallel(id, out, p, 1)
+}
+
+// RunExperimentParallel runs a single experiment by id with up to `workers`
+// goroutines of generation/replay parallelism (workers < 1 selects
+// runtime.GOMAXPROCS(0)). Output is identical to the serial run.
+func RunExperimentParallel(id string, out io.Writer, p ExperimentParams, workers int) error {
 	run, ok := exp.Experiments[id]
 	if !ok {
 		return fmt.Errorf("addict: unknown experiment %q", id)
 	}
-	run(out, p)
+	run(out, p, workers)
 	return nil
 }
 

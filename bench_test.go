@@ -12,6 +12,7 @@ package addict_test
 import (
 	"io"
 	"os"
+	"runtime"
 	"testing"
 
 	"addict"
@@ -164,6 +165,45 @@ func BenchmarkAblations(b *testing.B) {
 		r := exp.Ablate(w, "TPC-B")
 		if len(r.Rows) > 0 {
 			b.ReportMetric(r.Rows[0].CyclesN, "ADDICT-cycles-norm")
+		}
+	}
+}
+
+// BenchmarkRunAllSerial regenerates the entire report serially — the
+// baseline the parallel engine is measured against.
+func BenchmarkRunAllSerial(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		exp.RunAll(io.Discard, p)
+	}
+}
+
+// BenchmarkRunAllParallel regenerates the entire report on a worker pool
+// sized to the available CPUs. Output is byte-identical to the serial run
+// (see TestRunAllParallelMatchesSerial); wall-clock drops roughly with the
+// core count because the per-(workload, mechanism) simulations, the
+// per-figure analyses, and sharded trace generation all spread across the
+// pool. Compare against BenchmarkRunAllSerial:
+//
+//	go test -bench 'BenchmarkRunAll' -benchtime 1x
+func BenchmarkRunAllParallel(b *testing.B) {
+	p := benchParams()
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		exp.RunAllParallel(io.Discard, p, workers)
+	}
+}
+
+// BenchmarkTraceGenerationSharded gauges the worker-count-independent
+// sharded generator at full pool width.
+func BenchmarkTraceGenerationSharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		set, err := addict.GenerateTracesSharded("TPC-B", 1, 0.25, 256, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatalf("sharded generation failed: %v", err)
+		}
+		if len(set.Traces) != 256 {
+			b.Fatalf("sharded generation returned %d traces, want 256", len(set.Traces))
 		}
 	}
 }

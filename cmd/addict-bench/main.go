@@ -6,9 +6,14 @@
 //
 //	addict-bench                 # full report, paper-faithful sizes
 //	addict-bench -quick          # reduced sizes (~1/4 traces)
+//	addict-bench -parallel 8     # full report on an 8-worker pool
 //	addict-bench -exp fig5       # a single experiment
 //	addict-bench -traces 500     # override trace counts
 //	addict-bench -list           # list experiment ids
+//
+// The full report runs on a worker pool (-parallel, default: all available
+// CPUs) and is byte-identical to the serial run (-parallel 1) — see the
+// determinism notes in package addict.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -24,12 +30,13 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "single experiment id (default: run everything)")
-		quick  = flag.Bool("quick", false, "reduced trace counts and database scale")
-		traces = flag.Int("traces", 0, "override profiling/evaluation trace counts")
-		scale  = flag.Float64("scale", 0, "override database scale factor")
-		seed   = flag.Int64("seed", 0, "override workload seed")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		expID    = flag.String("exp", "", "single experiment id (default: run everything)")
+		quick    = flag.Bool("quick", false, "reduced trace counts and database scale")
+		traces   = flag.Int("traces", 0, "override profiling/evaluation trace counts")
+		scale    = flag.Float64("scale", 0, "override database scale factor")
+		seed     = flag.Int64("seed", 0, "override workload seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the full report (1 = serial; output is identical)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -62,12 +69,12 @@ func main() {
 	defer out.Flush()
 	start := time.Now()
 	if *expID != "" {
-		if err := addict.RunExperiment(*expID, out, p); err != nil {
+		if err := addict.RunExperimentParallel(*expID, out, p, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	} else {
-		addict.RunAllExperiments(out, p)
+		addict.RunAllExperimentsParallel(out, p, *parallel)
 	}
 	fmt.Fprintf(out, "\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,3 @@
+module addict
+
+go 1.22

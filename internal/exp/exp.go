@@ -3,11 +3,18 @@
 // DESIGN.md. Every runner returns a structured result and renders the same
 // rows/series the paper reports, normalized over Baseline where the paper
 // normalizes.
+//
+// The evaluation runs either serially (RunAll) or on a bounded worker pool
+// (RunAllParallel); both produce byte-identical reports. Shared artifacts
+// live in a Workbench that is safe for concurrent use: every artifact is
+// memoized with single-flight semantics, so concurrent experiments block on
+// the first computation instead of duplicating it.
 package exp
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"addict/internal/codemap"
 	"addict/internal/core"
@@ -65,79 +72,113 @@ func QuickParams() Params {
 // Workloads lists the paper's three benchmarks in presentation order.
 var Workloads = []string{"TPC-B", "TPC-C", "TPC-E"}
 
+// onceCell holds one single-flight artifact.
+type onceCell[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// onceMap is a concurrency-safe memoization map with single-flight
+// semantics: the first caller of a key computes the value while later
+// callers block until it is ready; the computation runs exactly once. The
+// zero value is ready to use.
+type onceMap[V any] struct {
+	mu sync.Mutex
+	m  map[string]*onceCell[V]
+}
+
+// Do returns the memoized value for key, computing it with fn on first use.
+func (om *onceMap[V]) Do(key string, fn func() V) V {
+	om.mu.Lock()
+	if om.m == nil {
+		om.m = make(map[string]*onceCell[V])
+	}
+	c, ok := om.m[key]
+	if !ok {
+		c = new(onceCell[V])
+		om.m[key] = c
+	}
+	om.mu.Unlock()
+	c.once.Do(func() { c.val = fn() })
+	return c.val
+}
+
 // Workbench caches per-workload artifacts (populated benchmark, profiling
-// and evaluation trace sets, the migration-point profile) so the
-// experiments sharing them do not regenerate.
+// and evaluation trace sets, the migration-point profile, per-mechanism
+// replay results) so the experiments sharing them do not regenerate. It is
+// safe for concurrent use: each artifact is computed once (single-flight)
+// no matter how many experiments request it at the same time, and every
+// artifact's content is independent of the order, interleaving, or worker
+// count of the requests.
 type Workbench struct {
 	P      Params
 	Layout *codemap.Layout
 
-	benches  map[string]*workload.Benchmark
-	profSets map[string]*trace.Set
-	evalSets map[string]*trace.Set
-	profiles map[string]*core.Profile
-	results  map[string]map[sched.Mechanism]sim.Result
+	// workers bounds the generation parallelism of sharded trace requests
+	// issued by this workbench (1 = serial). It does not affect content.
+	workers int
+
+	profSets onceMap[*trace.Set]
+	evalSets onceMap[*trace.Set]
+	profiles onceMap[*core.Profile]
+	results  onceMap[sim.Result]
 }
 
-// NewWorkbench prepares an empty workbench.
+// NewWorkbench prepares an empty workbench with serial trace generation.
 func NewWorkbench(p Params) *Workbench {
+	return NewParallelWorkbench(p, 1)
+}
+
+// NewParallelWorkbench prepares an empty workbench whose trace generation
+// may use up to `workers` goroutines. Artifact content is identical for
+// every workers value (see workload.GenerateSetSharded).
+func NewParallelWorkbench(p Params, workers int) *Workbench {
+	if workers < 1 {
+		workers = 1
+	}
 	return &Workbench{
-		P:        p,
-		Layout:   codemap.NewLayout(),
-		benches:  make(map[string]*workload.Benchmark),
-		profSets: make(map[string]*trace.Set),
-		evalSets: make(map[string]*trace.Set),
-		profiles: make(map[string]*core.Profile),
-		results:  make(map[string]map[sched.Mechanism]sim.Result),
+		P:       p,
+		Layout:  codemap.NewLayout(),
+		workers: workers,
 	}
 }
 
-// Benchmark returns the populated benchmark for a workload name.
-func (w *Workbench) Benchmark(name string) *workload.Benchmark {
-	if b, ok := w.benches[name]; ok {
-		return b
-	}
-	build, err := workload.Builder(name)
-	if err != nil {
-		panic(err)
-	}
-	b := build(w.P.Seed, w.P.Scale)
-	w.benches[name] = b
-	return b
-}
-
-// ProfileSet returns the profiling trace set (the "first 1000" traces).
+// ProfileSet returns the profiling trace set (the paper's "first 1000"
+// traces): shards [0, NumShards(ProfileTraces)) of the workload's sharded
+// trace space.
 func (w *Workbench) ProfileSet(name string) *trace.Set {
-	if s, ok := w.profSets[name]; ok {
+	return w.profSets.Do(name, func() *trace.Set {
+		s, err := workload.GenerateSetSharded(name, w.P.Seed, w.P.Scale,
+			0, w.P.ProfileTraces, workload.DefaultShardSize, w.workers)
+		if err != nil {
+			panic(err)
+		}
 		return s
-	}
-	s := workload.GenerateSet(w.Benchmark(name), w.P.ProfileTraces)
-	w.profSets[name] = s
-	return s
+	})
 }
 
-// EvalSet returns the evaluation trace set (the "next 1000" traces; the
-// generator continues from the profiling set's state).
+// EvalSet returns the evaluation trace set (the paper's "next 1000"): the
+// shards immediately after the profiling window, so the two sets are
+// disjoint by construction regardless of computation order.
 func (w *Workbench) EvalSet(name string) *trace.Set {
-	if s, ok := w.evalSets[name]; ok {
+	return w.evalSets.Do(name, func() *trace.Set {
+		base := workload.NumShards(w.P.ProfileTraces, workload.DefaultShardSize)
+		s, err := workload.GenerateSetSharded(name, w.P.Seed, w.P.Scale,
+			base, w.P.EvalTraces, workload.DefaultShardSize, w.workers)
+		if err != nil {
+			panic(err)
+		}
 		return s
-	}
-	w.ProfileSet(name) // ensure ordering: evaluation traces follow profiling
-	s := workload.GenerateSet(w.Benchmark(name), w.P.EvalTraces)
-	w.evalSets[name] = s
-	return s
+	})
 }
 
 // Profile returns the workload's Algorithm 1 output over the profiling set,
 // with the storage manager's no-migrate zones applied (Section 3.1.3).
 func (w *Workbench) Profile(name string) *core.Profile {
-	if p, ok := w.profiles[name]; ok {
-		return p
-	}
-	cfg := core.ProfileConfig{L1I: w.P.Machine.L1I, NoMigrate: w.Layout.NoMigrate}
-	p := core.FindMigrationPoints(w.ProfileSet(name), cfg)
-	w.profiles[name] = p
-	return p
+	return w.profiles.Do(name, func() *core.Profile {
+		cfg := core.ProfileConfig{L1I: w.P.Machine.L1I, NoMigrate: w.Layout.NoMigrate}
+		return core.FindMigrationPoints(w.ProfileSet(name), cfg)
+	})
 }
 
 // SchedConfig returns the scheduling configuration for a workload.
@@ -150,19 +191,13 @@ func (w *Workbench) SchedConfig(name string) sched.Config {
 // Result replays the workload's evaluation set under a mechanism, caching
 // the outcome (Figures 5, 6, 8b, and 9 share these runs).
 func (w *Workbench) Result(name string, mech sched.Mechanism) sim.Result {
-	if m, ok := w.results[name]; ok {
-		if r, ok := m[mech]; ok {
-			return r
+	return w.results.Do(name+"\x00"+string(mech), func() sim.Result {
+		r, err := sched.Run(mech, w.EvalSet(name), w.SchedConfig(name))
+		if err != nil {
+			panic(fmt.Sprintf("exp: %s on %s: %v", mech, name, err))
 		}
-	} else {
-		w.results[name] = make(map[sched.Mechanism]sim.Result)
-	}
-	r, err := sched.Run(mech, w.EvalSet(name), w.SchedConfig(name))
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s on %s: %v", mech, name, err))
-	}
-	w.results[name][mech] = r
-	return r
+		return r
+	})
 }
 
 // ratio is a/b guarding b=0.

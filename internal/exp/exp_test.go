@@ -272,7 +272,7 @@ func TestExperimentRegistryRunners(t *testing.T) {
 			t.Fatalf("missing %q", id)
 		}
 		var sb strings.Builder
-		run(&sb, p)
+		run(&sb, p, 2)
 		if sb.Len() == 0 {
 			t.Errorf("experiment %q produced no output", id)
 		}

@@ -32,24 +32,23 @@ func Fig4(w *Workbench, workloadName string) Fig4Result {
 
 	counterSmall := core.NewStabilityCounter(prof)
 	counterLarge := core.NewStabilityCounter(prof)
-	// A fresh benchmark continues deterministically past the profiling
-	// window; the workbench's own eval set must stay untouched, so rebuild
-	// and skip the profiling prefix.
-	build, err := workload.Builder(workloadName)
+	// Stream the shards beyond the profiling window with the same sharded
+	// warm-started recipe the profile was trained on, so stability is
+	// measured against traces from the generation regime the profile saw.
+	// The first EvalTraces streamed traces are exactly the workbench's
+	// eval set (same shard range); the stream then continues into further
+	// shards for the large count, staying memory-bounded.
+	base := workload.NumShards(w.P.ProfileTraces, workload.DefaultShardSize)
+	err := workload.StreamSharded(workloadName, w.P.Seed, w.P.Scale,
+		base, large, workload.DefaultShardSize, func(i int, t *trace.Trace) {
+			counterLarge.AddTrace(t)
+			if i < small {
+				counterSmall.AddTrace(t)
+			}
+		})
 	if err != nil {
 		panic(err)
 	}
-	b := build(w.P.Seed, w.P.Scale)
-	skip := w.P.ProfileTraces
-	workload.Stream(b, skip+large, func(i int, t *trace.Trace) {
-		if i < skip {
-			return
-		}
-		counterLarge.AddTrace(t)
-		if i < skip+small {
-			counterSmall.AddTrace(t)
-		}
-	})
 	res.At1k = counterSmall.Rows()
 	res.At10k = counterLarge.Rows()
 	return res

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled scales the heaviest determinism tests down when the race
+// detector (5-10x slowdown) is on; the full QuickParams() comparison runs
+// in the plain `go test ./...` tier.
+const raceEnabled = true

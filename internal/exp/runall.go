@@ -1,10 +1,18 @@
 package exp
 
-import "io"
+import (
+	"bytes"
+	"io"
+	"runtime"
 
-// RunAll executes every experiment and renders the full report — the
-// cmd/addict-bench default and the source of EXPERIMENTS.md's measured
-// numbers.
+	"addict/internal/pool"
+	"addict/internal/sched"
+)
+
+// RunAll executes every experiment serially and renders the full report —
+// the source of EXPERIMENTS.md's measured numbers. RunAllParallel produces
+// byte-identical output on a worker pool; this serial form is kept as the
+// reference implementation the determinism tests compare against.
 func RunAll(out io.Writer, p Params) {
 	w := NewWorkbench(p)
 
@@ -38,74 +46,232 @@ func RunAll(out io.Writer, p Params) {
 	}
 }
 
+// RunAllParallel executes every experiment of RunAll on a bounded worker
+// pool and emits a byte-identical report. Independent experiment units —
+// per-workload replays, per-figure analyses, the per-(workload, mechanism)
+// simulations behind Figures 5/6/8b/9 — run concurrently on up to
+// `workers` goroutines (workers < 1 selects runtime.GOMAXPROCS(0)); each
+// renderer writes into a private buffer, and buffers stream to out in the
+// exact serial presentation order as soon as their section (and every
+// section before it) is ready. Determinism holds because every shared
+// artifact is single-flight memoized in the Workbench and every artifact's
+// content is independent of computation order (sharded trace generation,
+// deterministic simulation).
+func RunAllParallel(out io.Writer, p Params, workers int) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	w := NewParallelWorkbench(p, workers)
+
+	fig4Workloads := []string{"TPC-B", "TPC-C"}
+	comparisons := make([]Comparison, len(Workloads))
+	deep := make([]Fig8aResult, len(Workloads))
+
+	// Jobs run on the pool in submission order; emit steps flush output in
+	// the serial presentation order, each as soon as the jobs it waits on
+	// have finished. The two orders are independent — single-flight
+	// memoization makes artifact content order-free — so jobs are
+	// submitted roughly longest-first to pack the pool (warm-up replays,
+	// then the heavy per-workload sweeps, then the small trace analyses).
+	var jobs []func()
+	type emitStep struct {
+		wait   func()
+		render func(io.Writer)
+	}
+	var emits []emitStep
+	nothing := func() {}
+
+	// done wraps a job so emit steps can wait on its completion.
+	done := func(job func()) (func(), func()) {
+		ch := make(chan struct{})
+		return func() { defer close(ch); job() }, func() { <-ch }
+	}
+	// buffered returns a pool job that renders into a private buffer and
+	// queues the buffer for in-order emission once the job completes.
+	buffered := func(render func(io.Writer)) func() {
+		buf := new(bytes.Buffer)
+		job, wait := done(func() { render(buf) })
+		emits = append(emits, emitStep{wait: wait, render: func(out io.Writer) { out.Write(buf.Bytes()) }})
+		return job
+	}
+	// direct renders cheap, already-computed results at emit time, after
+	// waiting for the jobs that compute its inputs.
+	direct := func(wait func(), render func(io.Writer)) {
+		emits = append(emits, emitStep{wait: wait, render: render})
+	}
+	// waitAll chains completion waits.
+	waitAll := func(waits []func()) func() {
+		return func() {
+			for _, w := range waits {
+				w()
+			}
+		}
+	}
+
+	// Computation jobs whose results feed several renderers.
+	compareJobs := make([]func(), len(Workloads))
+	compareWaits := make([]func(), len(Workloads))
+	for i, name := range Workloads {
+		i, name := i, name
+		compareJobs[i], compareWaits[i] = done(func() { comparisons[i] = Compare(w, name) })
+	}
+	deepJobs := make([]func(), len(Workloads))
+	deepWaits := make([]func(), len(Workloads))
+	for i, name := range Workloads {
+		i, name := i, name
+		deepJobs[i], deepWaits[i] = done(func() { deep[i] = Fig8a(w, name) })
+	}
+
+	// Emission plan, in RunAll's presentation order.
+	direct(nothing, func(out io.Writer) { Table1(out, p.Machine) })
+	fig1Job := buffered(func(out io.Writer) { Fig1(w).Render(out) })
+	fig2Jobs := make([]func(), 0, len(Workloads))
+	for _, name := range Workloads {
+		name := name
+		fig2Jobs = append(fig2Jobs, buffered(func(out io.Writer) { Fig2(w, name).Render(out) }))
+	}
+	fig3Job := buffered(func(out io.Writer) { Fig3(w).Render(out) })
+	fig4Jobs := make([]func(), 0, len(fig4Workloads))
+	for _, name := range fig4Workloads {
+		name := name
+		fig4Jobs = append(fig4Jobs, buffered(func(out io.Writer) { Fig4(w, name).Render(out) }))
+	}
+	direct(waitAll(compareWaits), func(out io.Writer) { Fig5Render(out, comparisons) })
+	direct(nothing, func(out io.Writer) { Fig6Render(out, comparisons) })
+	fig7Jobs := make([]func(), 0, len(Workloads))
+	for _, name := range Workloads {
+		name := name
+		fig7Jobs = append(fig7Jobs, buffered(func(out io.Writer) { Fig7(w, name).Render(out) }))
+	}
+	direct(waitAll(deepWaits), func(out io.Writer) { Fig8aRender(out, deep) })
+	direct(nothing, func(out io.Writer) { Fig8bRender(out, comparisons) })
+	direct(nothing, func(out io.Writer) { Fig9Render(out, comparisons) })
+	ablateJobs := make([]func(), 0, len(Workloads))
+	for _, name := range Workloads {
+		name := name
+		ablateJobs = append(ablateJobs, buffered(func(out io.Writer) { Ablate(w, name).Render(out) }))
+	}
+
+	// Execution plan. Warm-up units first: the per-(workload, mechanism)
+	// replays are the shared dependencies of everything below, so
+	// computing them as their own units keeps the heavy consumers from
+	// blocking on each other's single-flight computations. The cheap
+	// early-presentation sections (Figures 1-4) come next so the report
+	// starts streaming while the heavy sweeps still run.
+	for _, name := range Workloads {
+		name := name
+		for _, mech := range allMechanisms() {
+			mech := mech
+			jobs = append(jobs, func() { w.Result(name, mech) })
+		}
+	}
+	jobs = append(jobs, fig1Job)
+	jobs = append(jobs, fig2Jobs...)
+	jobs = append(jobs, fig3Job)
+	jobs = append(jobs, fig4Jobs...)
+	jobs = append(jobs, fig7Jobs...)
+	jobs = append(jobs, ablateJobs...)
+	jobs = append(jobs, deepJobs...)
+	jobs = append(jobs, compareJobs...)
+
+	poolDone := make(chan struct{})
+	go func() {
+		defer close(poolDone)
+		pool.Run(workers, len(jobs), func(i int) { jobs[i]() })
+	}()
+	for _, emit := range emits {
+		emit.wait()
+		emit.render(out)
+	}
+	<-poolDone // warm-up jobs may still be draining after the last section
+}
+
+// allMechanisms returns the evaluated mechanisms in presentation order.
+func allMechanisms() []sched.Mechanism { return sched.Mechanisms }
+
 // Experiments maps experiment ids to their standalone runners, for the
-// cmd/addict-bench -exp flag.
-var Experiments = map[string]func(out io.Writer, p Params){
-	"table1": func(out io.Writer, p Params) { Table1(out, p.Machine) },
-	"fig1":   func(out io.Writer, p Params) { Fig1(NewWorkbench(p)).Render(out) },
-	"fig2": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+// cmd/addict-bench -exp flag. workers bounds the runner's generation and
+// replay parallelism exactly as in RunAllParallel (workers < 1 selects
+// runtime.GOMAXPROCS(0)); output is identical for every worker count.
+var Experiments = map[string]func(out io.Writer, p Params, workers int){
+	"table1": func(out io.Writer, p Params, workers int) { Table1(out, p.Machine) },
+	"fig1": func(out io.Writer, p Params, workers int) {
+		Fig1(newExpWorkbench(p, workers)).Render(out)
+	},
+	"fig2": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		for _, name := range Workloads {
 			Fig2(w, name).Render(out)
 		}
 	},
-	"fig3": func(out io.Writer, p Params) { Fig3(NewWorkbench(p)).Render(out) },
-	"fig4": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+	"fig3": func(out io.Writer, p Params, workers int) {
+		Fig3(newExpWorkbench(p, workers)).Render(out)
+	},
+	"fig4": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		for _, name := range []string{"TPC-B", "TPC-C"} {
 			Fig4(w, name).Render(out)
 		}
 	},
-	"fig5": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+	"fig5": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		var cs []Comparison
 		for _, name := range Workloads {
 			cs = append(cs, Compare(w, name))
 		}
 		Fig5Render(out, cs)
 	},
-	"fig6": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+	"fig6": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		var cs []Comparison
 		for _, name := range Workloads {
 			cs = append(cs, Compare(w, name))
 		}
 		Fig6Render(out, cs)
 	},
-	"fig7": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+	"fig7": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		for _, name := range Workloads {
 			Fig7(w, name).Render(out)
 		}
 	},
-	"fig8a": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+	"fig8a": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		var rs []Fig8aResult
 		for _, name := range Workloads {
 			rs = append(rs, Fig8a(w, name))
 		}
 		Fig8aRender(out, rs)
 	},
-	"fig8b": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+	"fig8b": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		var cs []Comparison
 		for _, name := range Workloads {
 			cs = append(cs, Compare(w, name))
 		}
 		Fig8bRender(out, cs)
 	},
-	"fig9": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+	"fig9": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		var cs []Comparison
 		for _, name := range Workloads {
 			cs = append(cs, Compare(w, name))
 		}
 		Fig9Render(out, cs)
 	},
-	"ablations": func(out io.Writer, p Params) {
-		w := NewWorkbench(p)
+	"ablations": func(out io.Writer, p Params, workers int) {
+		w := newExpWorkbench(p, workers)
 		for _, name := range Workloads {
 			Ablate(w, name).Render(out)
 		}
 	},
+}
+
+// newExpWorkbench builds the workbench of a standalone experiment runner,
+// applying the package worker-count convention.
+func newExpWorkbench(p Params, workers int) *Workbench {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return NewParallelWorkbench(p, workers)
 }

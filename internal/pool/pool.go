@@ -1,0 +1,39 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// experiment engine (internal/exp), sharded trace generation
+// (internal/workload), and the concurrent facade (package addict).
+package pool
+
+import "sync"
+
+// Run invokes fn(0), fn(1), ... fn(n-1) on up to `workers` goroutines and
+// returns once every call has finished. Indices are handed out in order,
+// so earlier (typically longer-running) units start first. workers <= 1
+// runs inline on the caller's goroutine. Panics inside fn propagate and
+// crash the process, matching the engine's fail-fast error philosophy.
+func Run(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 37
+		var hits [n]int32
+		Run(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("workers=%d: index %d ran %d times, want 1", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max int32
+	Run(workers, 64, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			m := atomic.LoadInt32(&max)
+			if c <= m || atomic.CompareAndSwapInt32(&max, m, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if got := atomic.LoadInt32(&max); got > workers {
+		t.Errorf("observed %d concurrent calls, want <= %d", got, workers)
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	ran := false
+	Run(4, 0, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran with n=0")
+	}
+}

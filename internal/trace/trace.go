@@ -9,7 +9,11 @@
 // (Section 4.1), at 64-byte cache-block granularity (Section 2.1).
 package trace
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
 
 // BlockSize is the cache-block granularity of all recorded addresses, in
 // bytes. The paper measures footprints "as the unique 64byte cache blocks
@@ -318,4 +322,48 @@ func (s *Set) TypeName(tt TxnType) string {
 		return s.TypeNames[tt]
 	}
 	return fmt.Sprintf("txn%d", tt)
+}
+
+// MergeSets concatenates part sets into one Set, preserving part order. The
+// workload metadata is taken from the first part (sharded generation
+// produces parts of the same workload). Traces are shared, not copied.
+func MergeSets(parts ...*Set) *Set {
+	out := &Set{}
+	for i, p := range parts {
+		if i == 0 {
+			out.Workload = p.Workload
+			out.TypeNames = append([]string(nil), p.TypeNames...)
+		}
+		out.Traces = append(out.Traces, p.Traces...)
+	}
+	return out
+}
+
+// Digest returns a 64-bit FNV-1a hash over the set's full content —
+// workload name, type names, and every event of every trace. Two sets with
+// the same digest are (up to hash collision) identical trace-for-trace;
+// the determinism tests use it to assert that sharded generation is
+// independent of the worker count.
+func (s *Set) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(s.Workload))
+	for _, n := range s.TypeNames {
+		h.Write([]byte{0})
+		h.Write([]byte(n))
+	}
+	u64(uint64(len(s.Traces)))
+	for _, t := range s.Traces {
+		u64(uint64(t.Type))
+		u64(uint64(len(t.Events)))
+		for _, e := range t.Events {
+			u64(e.Addr)
+			u64(uint64(e.Kind) | uint64(e.Op)<<8 | uint64(e.Aux)<<16)
+		}
+	}
+	return h.Sum64()
 }

@@ -1,0 +1,101 @@
+package workload
+
+import "testing"
+
+// TestShardSeedDistinct: neighbouring (seed, shard) pairs must yield
+// distinct, well-mixed shard seeds (the splitmix64 step).
+func TestShardSeedDistinct(t *testing.T) {
+	seen := make(map[int64][2]int64)
+	for _, seed := range []int64{0, 1, 42, -7} {
+		for shard := 0; shard < 64; shard++ {
+			s := ShardSeed(seed, shard)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("ShardSeed collision: (%d,%d) and (%d,%d) -> %d", seed, shard, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{seed, int64(shard)}
+		}
+	}
+	if ShardSeed(1, 0) == 1 {
+		t.Error("ShardSeed(1, 0) must not pass the seed through unmixed")
+	}
+}
+
+func TestNumShards(t *testing.T) {
+	cases := []struct{ n, size, want int }{
+		{0, 128, 1},
+		{1, 128, 1},
+		{128, 128, 1},
+		{129, 128, 2},
+		{250, 128, 2},
+		{1000, 128, 8},
+		{40, 0, 1}, // size 0 selects the default
+	}
+	for _, c := range cases {
+		if got := NumShards(c.n, c.size); got != c.want {
+			t.Errorf("NumShards(%d, %d) = %d, want %d", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+// TestShardedGenerationWorkerIndependent is the core determinism guarantee:
+// the merged trace set's digest must be identical for every worker count.
+func TestShardedGenerationWorkerIndependent(t *testing.T) {
+	for _, name := range []string{"TPC-B", "TPC-C", "TPC-E"} {
+		ref, err := GenerateSetSharded(name, 9, 0.05, 0, 40, 16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ref.Traces) != 40 {
+			t.Fatalf("%s: got %d traces, want 40", name, len(ref.Traces))
+		}
+		want := ref.Digest()
+		for _, workers := range []int{2, 3, 8} {
+			s, err := GenerateSetSharded(name, 9, 0.05, 0, 40, 16, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if got := s.Digest(); got != want {
+				t.Errorf("%s: digest with %d workers = %#x, want %#x (serial)", name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedGenerationWindowsDisjoint: distinct baseShard ranges must
+// produce different traces (the paper's "first 1000" vs "next 1000").
+func TestShardedGenerationWindowsDisjoint(t *testing.T) {
+	a, err := GenerateSetSharded("TPC-B", 9, 0.05, 0, 24, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSetSharded("TPC-B", 9, 0.05, NumShards(24, 8), 24, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == b.Digest() {
+		t.Error("profiling-window and evaluation-window shards produced identical sets")
+	}
+	if a.Workload != "TPC-B" || len(a.TypeNames) == 0 {
+		t.Errorf("merged set lost workload metadata: %+v", a)
+	}
+}
+
+// TestShardedGenerationValidTraces: merged shard output must satisfy the
+// trace structural invariants end to end.
+func TestShardedGenerationValidTraces(t *testing.T) {
+	s, err := GenerateSetSharded("TPC-C", 9, 0.05, 0, 20, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range s.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trace %d: %v", i, err)
+		}
+	}
+}
+
+func TestShardedGenerationUnknownWorkload(t *testing.T) {
+	if _, err := GenerateSetSharded("TPC-Z", 1, 1, 0, 10, 8, 2); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
