@@ -1,0 +1,24 @@
+#!/bin/sh
+# Docs hygiene: every internal/ package must carry a package-level doc
+# comment ("// Package <name> ...") in at least one non-test file —
+# preferably its doc.go — stating what it implements and which paper
+# section/figure it reproduces.
+set -eu
+cd "$(dirname "$0")/.."
+status=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    found=0
+    for f in "$dir"*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q "^// Package $pkg " "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "missing package comment: $dir (want '// Package $pkg ...' in a non-test file)" >&2
+        status=1
+    fi
+done
+exit $status

@@ -34,6 +34,15 @@
 // worker-count-independent trace generator; cmd/addict-bench drives the
 // pool via its -parallel flag.
 //
+// # Parameter sweeps
+//
+// RunSweep executes a declarative sensitivity grid (SweepSpec) — axes over
+// machine parameters, workloads, mechanisms, thread counts, and admission
+// limits — on the same pool with the same byte-identity guarantee,
+// streaming results as an aligned table, CSV, or JSON lines. The figure
+// pipeline and the sweep pipeline share one execution path (the figure
+// runners are presets over sweep units); cmd/addict-sweep is the CLI.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
 package addict
@@ -52,6 +61,7 @@ import (
 	"addict/internal/sim"
 	"addict/internal/stats"
 	"addict/internal/storage"
+	"addict/internal/sweep"
 	"addict/internal/trace"
 	"addict/internal/workload"
 )
@@ -284,6 +294,40 @@ func ExperimentIDs() []string {
 	}
 	return ids
 }
+
+// SweepSpec is a declarative parameter-sweep grid: axes over machine
+// parameters (L1-I/LLC geometry, core count, miss latencies), workloads,
+// mechanisms, thread counts, and admission limits. Empty axes take the base
+// values; see internal/sweep for the expansion contract.
+type SweepSpec = sweep.Spec
+
+// SweepUnit is one expanded sweep point, keyed by a stable ID derived from
+// its parameter values.
+type SweepUnit = sweep.Unit
+
+// SweepMetrics are the per-unit outcomes a sweep reports.
+type SweepMetrics = sweep.Metrics
+
+// SweepFormats lists the built-in sweep output formats ("table", "csv",
+// "jsonl").
+var SweepFormats = sweep.Formats
+
+// RunSweep expands the spec into experiment units, executes them on up to
+// `workers` goroutines (workers < 1 selects runtime.GOMAXPROCS(0)), and
+// streams results to out in the given format, in grid-expansion order. The
+// output is byte-identical for every worker count — the same determinism
+// contract as the figure pipeline, which shares this execution path.
+func RunSweep(out io.Writer, spec SweepSpec, format string, workers int) error {
+	em, err := sweep.NewEmitter(format, out)
+	if err != nil {
+		return err
+	}
+	return sweep.Run(spec, em, normWorkers(workers))
+}
+
+// ExpandSweep resolves a sweep grid into its units without running them —
+// for previewing unit counts and IDs before committing to a long sweep.
+func ExpandSweep(spec SweepSpec) ([]SweepUnit, error) { return spec.Expand() }
 
 // WriteTraces serializes a trace set in the binary trace format.
 func WriteTraces(w io.Writer, s *TraceSet) error { return trace.WriteSet(w, s) }

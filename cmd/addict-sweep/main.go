@@ -1,0 +1,224 @@
+// Command addict-sweep runs declarative parameter sweeps over the ADDICT
+// reproduction: a grid of machine parameters (L1-I/LLC geometry, core
+// count, miss latencies), workloads, scheduling mechanisms, thread counts,
+// and admission limits, executed on a worker pool with byte-identical
+// output for every -parallel value.
+//
+// Usage:
+//
+//	addict-sweep -grid 'l1i=16K,32K,64K; mech=Baseline,ADDICT; threads=4,8,16'
+//	addict-sweep -grid 'cores=4,8,16; workload=TPC-C' -format csv
+//	addict-sweep -spec sweep.json -format jsonl -parallel 8
+//	addict-sweep -axes      # list grid axis names
+//
+// The -grid flag is a compact spec: semicolon-separated axes, each
+// "name=v1,v2,...". Sizes take K/M suffixes. The -spec flag loads a full
+// sweep.Spec as JSON; -grid entries overlay it. Base parameters (seed,
+// scale, trace counts) default to the quick evaluation sizes and are
+// overridable by flags.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"addict"
+)
+
+// axisHelp documents every -grid axis.
+var axisHelp = []struct{ name, desc string }{
+	{"workload", "benchmark names (TPC-B, TPC-C, TPC-E)"},
+	{"mech", "scheduling mechanisms (Baseline, STREX, SLICC, ADDICT)"},
+	{"l1i", "L1-I sizes in bytes (K/M suffixes: 16K, 32K)"},
+	{"l1iways", "L1-I associativities"},
+	{"llc", "shared-cache total sizes in bytes (8M, 16M)"},
+	{"llcways", "shared-cache associativities"},
+	{"cores", "core counts (power of two; LLC rescales per-core)"},
+	{"hit", "shared-cache hit latencies in cycles"},
+	{"mem", "memory latencies in cycles"},
+	{"threads", "batch sizes / offered concurrency (0 = core count)"},
+	{"admit", "admission caps (0 = mechanism default)"},
+}
+
+func main() {
+	var (
+		grid     = flag.String("grid", "", "compact grid spec: 'axis=v1,v2;axis=v1' (see -axes)")
+		specPath = flag.String("spec", "", "JSON sweep spec file (grid axes overlay it)")
+		format   = flag.String("format", "table", "output format: table, csv, or jsonl")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial; output is identical)")
+		seed     = flag.Int64("seed", 0, "override workload seed")
+		scale    = flag.Float64("scale", 0, "override database scale factor")
+		traces   = flag.Int("traces", 0, "override profiling/evaluation trace counts")
+		deep     = flag.Bool("deep", false, "use the Section 4.6 deep hierarchy as the base machine")
+		axes     = flag.Bool("axes", false, "list grid axis names and exit")
+	)
+	flag.Parse()
+
+	if *axes {
+		for _, a := range axisHelp {
+			fmt.Printf("%-9s %s\n", a.name, a.desc)
+		}
+		return
+	}
+
+	var spec addict.SweepSpec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fatal(fmt.Errorf("%s: %w", *specPath, err))
+		}
+		if dec.More() {
+			fatal(fmt.Errorf("%s: trailing data after the spec object", *specPath))
+		}
+	}
+	if *grid != "" {
+		if err := applyGrid(&spec, *grid); err != nil {
+			fatal(err)
+		}
+	}
+	// Nonzero overrides pass through unconditionally so spec validation
+	// rejects bad values instead of silently running the defaults.
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *scale != 0 {
+		spec.Scale = *scale
+	}
+	if *traces != 0 {
+		spec.ProfileTraces = *traces
+		spec.EvalTraces = *traces
+	}
+	if *deep {
+		spec.Deep = true
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	if err := addict.RunSweep(out, spec, *format, *parallel); err != nil {
+		out.Flush()
+		fatal(err)
+	}
+	// A failed flush (full disk, closed pipe) must not exit 0 with a
+	// truncated sweep.
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "addict-sweep:", err)
+	os.Exit(1)
+}
+
+// applyGrid parses a compact grid string into the spec. Axes are separated
+// by ";", each "name=v1,v2,...".
+func applyGrid(spec *addict.SweepSpec, grid string) error {
+	for _, clause := range strings.Split(grid, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, vals, ok := strings.Cut(clause, "=")
+		if !ok {
+			return fmt.Errorf("grid clause %q: want axis=v1,v2,...", clause)
+		}
+		name = strings.TrimSpace(strings.ToLower(name))
+		var values []string
+		for _, v := range strings.Split(vals, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			return fmt.Errorf("grid axis %q: no values", name)
+		}
+		if err := setAxis(spec, name, values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setAxis assigns one parsed axis to its spec field.
+func setAxis(spec *addict.SweepSpec, name string, values []string) error {
+	switch name {
+	case "workload", "workloads", "w":
+		spec.Workloads = values
+	case "mech", "mechs", "mechanism", "mechanisms":
+		spec.Mechanisms = values
+	case "l1i":
+		return parseInts(values, parseSize, &spec.L1ISizes)
+	case "l1iways":
+		return parseInts(values, strconv.Atoi, &spec.L1IWays)
+	case "llc", "shared":
+		return parseInts(values, parseSize, &spec.SharedSizes)
+	case "llcways", "sharedways":
+		return parseInts(values, strconv.Atoi, &spec.SharedWays)
+	case "cores":
+		return parseInts(values, strconv.Atoi, &spec.Cores)
+	case "hit":
+		return parseUints(values, &spec.SharedHitCycles)
+	case "mem":
+		return parseUints(values, &spec.MemCycles)
+	case "threads":
+		return parseInts(values, strconv.Atoi, &spec.Threads)
+	case "admit":
+		return parseInts(values, strconv.Atoi, &spec.AdmitLimits)
+	default:
+		return fmt.Errorf("unknown grid axis %q (see -axes)", name)
+	}
+	return nil
+}
+
+func parseInts(values []string, parse func(string) (int, error), dst *[]int) error {
+	out := make([]int, 0, len(values))
+	for _, v := range values {
+		n, err := parse(v)
+		if err != nil {
+			return fmt.Errorf("value %q: %v", v, err)
+		}
+		out = append(out, n)
+	}
+	*dst = out
+	return nil
+}
+
+func parseUints(values []string, dst *[]uint64) error {
+	out := make([]uint64, 0, len(values))
+	for _, v := range values {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("value %q: %v", v, err)
+		}
+		out = append(out, n)
+	}
+	*dst = out
+	return nil
+}
+
+// parseSize parses a byte count with an optional K/M suffix.
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}

@@ -1,10 +1,3 @@
-// Package cache implements the set-associative cache models used by both
-// ADDICT's profiling step (Algorithm 1 tracks L1-I evictions) and the
-// multicore timing simulator (Table 1 hierarchy).
-//
-// Caches here are *functional* models: they track block residency and
-// replacement, and report hits/misses/evictions. Timing (latencies, torus
-// hops, memory) is layered on top by package sim.
 package cache
 
 import (

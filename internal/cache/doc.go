@@ -1,0 +1,9 @@
+// Package cache implements the set-associative cache models used by both
+// ADDICT's profiling step (Algorithm 1 tracks L1-I evictions, Section 3.1)
+// and the multicore timing simulator (the Table 1 hierarchy: private
+// 32KB/8-way L1s and the banked 16MB NUCA L2).
+//
+// Caches here are *functional* models: they track block residency and
+// replacement, and report hits/misses/evictions. Timing (latencies, torus
+// hops, memory) is layered on top by package sim.
+package cache

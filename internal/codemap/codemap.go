@@ -1,19 +1,3 @@
-// Package codemap defines the synthetic instruction layout of the storage
-// manager.
-//
-// The paper collects real x86 instruction traces with Pin; a Go reproduction
-// cannot (DESIGN.md Section 2). Instead, every storage-manager routine owns a
-// contiguous range of 64-byte instruction blocks, and executing the routine
-// emits fetches from that range. The block counts are calibrated so that the
-// per-routine footprint percentages of Figure 1 hold, and the total layout
-// size lands inside the paper's 128KB–256KB Shore-MT instruction footprint
-// (Section 4.6).
-//
-// What is synthetic is only the mapping "routine → code bytes". Which
-// routines execute, in which order, with which branch paths and loop trip
-// counts, is decided by the real storage-manager control flow in package
-// storage — e.g. the allocate-page path runs only when a data page actually
-// fills, so its blocks are rare across instances exactly as in Figure 2.
 package codemap
 
 import (

@@ -1,14 +1,3 @@
-// Package core implements ADDICT — the paper's contribution: a transaction
-// scheduling mechanism that chases L1 instruction-cache locality by
-// splitting database operations into cache-sized actions and migrating
-// transactions across cores at the action boundaries (Section 3).
-//
-// Step 1 (Algorithm 1, this file) profiles traces to find per-
-// (transaction type, operation) migration points: the instruction addresses
-// whose fetch would overflow an empty L1-I, collected as sequences and
-// voted by frequency. Step 2 (assign.go) maps the points to cores with the
-// Section 3.2.3 load-balancing rules; tracker.go is the per-thread runtime
-// automaton the scheduler consults (Algorithm 2's migration loop).
 package core
 
 import (

@@ -9,19 +9,24 @@
 // live in a Workbench that is safe for concurrent use: every artifact is
 // memoized with single-flight semantics, so concurrent experiments block on
 // the first computation instead of duplicating it.
+//
+// Every replay routes through the sweep execution path (internal/sweep):
+// a figure's per-(workload, mechanism) point is the default-load sweep
+// unit, Figure 7 a Threads-axis grid, Figure 8a a Deep-machine grid — so
+// the figure pipeline and cmd/addict-sweep cannot drift apart.
 package exp
 
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"addict/internal/codemap"
 	"addict/internal/core"
+	"addict/internal/pool"
 	"addict/internal/sched"
 	"addict/internal/sim"
+	"addict/internal/sweep"
 	"addict/internal/trace"
-	"addict/internal/workload"
 )
 
 // Params scopes an experiment run.
@@ -72,56 +77,21 @@ func QuickParams() Params {
 // Workloads lists the paper's three benchmarks in presentation order.
 var Workloads = []string{"TPC-B", "TPC-C", "TPC-E"}
 
-// onceCell holds one single-flight artifact.
-type onceCell[V any] struct {
-	once sync.Once
-	val  V
-}
-
-// onceMap is a concurrency-safe memoization map with single-flight
-// semantics: the first caller of a key computes the value while later
-// callers block until it is ready; the computation runs exactly once. The
-// zero value is ready to use.
-type onceMap[V any] struct {
-	mu sync.Mutex
-	m  map[string]*onceCell[V]
-}
-
-// Do returns the memoized value for key, computing it with fn on first use.
-func (om *onceMap[V]) Do(key string, fn func() V) V {
-	om.mu.Lock()
-	if om.m == nil {
-		om.m = make(map[string]*onceCell[V])
-	}
-	c, ok := om.m[key]
-	if !ok {
-		c = new(onceCell[V])
-		om.m[key] = c
-	}
-	om.mu.Unlock()
-	c.once.Do(func() { c.val = fn() })
-	return c.val
-}
-
 // Workbench caches per-workload artifacts (populated benchmark, profiling
 // and evaluation trace sets, the migration-point profile, per-mechanism
 // replay results) so the experiments sharing them do not regenerate. It is
 // safe for concurrent use: each artifact is computed once (single-flight)
 // no matter how many experiments request it at the same time, and every
 // artifact's content is independent of the order, interleaving, or worker
-// count of the requests.
+// count of the requests. The trace-window and profiling recipe lives in
+// sweep.Artifacts — the workbench is the figure pipeline's view of the
+// same cache the sweep engine uses.
 type Workbench struct {
 	P      Params
 	Layout *codemap.Layout
 
-	// workers bounds the generation parallelism of sharded trace requests
-	// issued by this workbench (1 = serial). It does not affect content.
-	workers int
-
-	profSets onceMap[*trace.Set]
-	evalSets onceMap[*trace.Set]
-	profiles onceMap[*core.Profile]
-	results  onceMap[sim.Result]
+	arts    *sweep.Artifacts
+	results pool.OnceMap[sim.Result]
 }
 
 // NewWorkbench prepares an empty workbench with serial trace generation.
@@ -133,66 +103,39 @@ func NewWorkbench(p Params) *Workbench {
 // may use up to `workers` goroutines. Artifact content is identical for
 // every workers value (see workload.GenerateSetSharded).
 func NewParallelWorkbench(p Params, workers int) *Workbench {
-	if workers < 1 {
-		workers = 1
-	}
+	arts := sweep.NewArtifacts(p.Seed, p.Scale, p.ProfileTraces, p.EvalTraces, workers)
 	return &Workbench{
-		P:       p,
-		Layout:  codemap.NewLayout(),
-		workers: workers,
+		P:      p,
+		Layout: arts.Layout(),
+		arts:   arts,
 	}
 }
 
 // ProfileSet returns the profiling trace set (the paper's "first 1000"
 // traces): shards [0, NumShards(ProfileTraces)) of the workload's sharded
 // trace space.
-func (w *Workbench) ProfileSet(name string) *trace.Set {
-	return w.profSets.Do(name, func() *trace.Set {
-		s, err := workload.GenerateSetSharded(name, w.P.Seed, w.P.Scale,
-			0, w.P.ProfileTraces, workload.DefaultShardSize, w.workers)
-		if err != nil {
-			panic(err)
-		}
-		return s
-	})
-}
+func (w *Workbench) ProfileSet(name string) *trace.Set { return w.arts.ProfileSet(name) }
 
 // EvalSet returns the evaluation trace set (the paper's "next 1000"): the
 // shards immediately after the profiling window, so the two sets are
 // disjoint by construction regardless of computation order.
-func (w *Workbench) EvalSet(name string) *trace.Set {
-	return w.evalSets.Do(name, func() *trace.Set {
-		base := workload.NumShards(w.P.ProfileTraces, workload.DefaultShardSize)
-		s, err := workload.GenerateSetSharded(name, w.P.Seed, w.P.Scale,
-			base, w.P.EvalTraces, workload.DefaultShardSize, w.workers)
-		if err != nil {
-			panic(err)
-		}
-		return s
-	})
-}
+func (w *Workbench) EvalSet(name string) *trace.Set { return w.arts.EvalSet(name) }
 
 // Profile returns the workload's Algorithm 1 output over the profiling set,
 // with the storage manager's no-migrate zones applied (Section 3.1.3).
 func (w *Workbench) Profile(name string) *core.Profile {
-	return w.profiles.Do(name, func() *core.Profile {
-		cfg := core.ProfileConfig{L1I: w.P.Machine.L1I, NoMigrate: w.Layout.NoMigrate}
-		return core.FindMigrationPoints(w.ProfileSet(name), cfg)
-	})
-}
-
-// SchedConfig returns the scheduling configuration for a workload.
-func (w *Workbench) SchedConfig(name string) sched.Config {
-	cfg := sched.DefaultConfig(w.P.Machine)
-	cfg.Profile = w.Profile(name)
-	return cfg
+	return w.arts.Profile(name, w.P.Machine)
 }
 
 // Result replays the workload's evaluation set under a mechanism, caching
-// the outcome (Figures 5, 6, 8b, and 9 share these runs).
+// the outcome (Figures 5, 6, 8b, and 9 share these runs). The replay goes
+// through the sweep execution path (sweep.Replay): a figure's
+// per-(workload, mechanism) point is the default-load sweep unit on the
+// run's machine.
 func (w *Workbench) Result(name string, mech sched.Mechanism) sim.Result {
 	return w.results.Do(name+"\x00"+string(mech), func() sim.Result {
-		r, err := sched.Run(mech, w.EvalSet(name), w.SchedConfig(name))
+		u := sweep.NewUnit(name, mech, w.P.Machine, 0, 0)
+		r, err := sweep.Replay(u, w.EvalSet(name), w.Profile(name))
 		if err != nil {
 			panic(fmt.Sprintf("exp: %s on %s: %v", mech, name, err))
 		}

@@ -7,6 +7,7 @@ import (
 	"addict/internal/sched"
 	"addict/internal/sim"
 	"addict/internal/stats"
+	"addict/internal/sweep"
 )
 
 // MechRow is one mechanism's metrics for one workload, normalized over
@@ -140,16 +141,17 @@ type Fig8aResult struct {
 	ShallowCyclesN float64
 }
 
-// Fig8a evaluates one workload on the deep hierarchy.
+// Fig8a evaluates one workload on the deep hierarchy — a two-unit sweep
+// preset (Baseline and ADDICT on the Deep machine) replayed through the
+// sweep execution path.
 func Fig8a(w *Workbench, workloadName string) Fig8aResult {
-	deepCfg := sched.DefaultConfig(sim.Deep())
-	deepCfg.Profile = w.Profile(workloadName)
 	set := w.EvalSet(workloadName)
-	base, err := sched.Run(sched.Baseline, set, deepCfg)
+	prof := w.Profile(workloadName)
+	base, err := sweep.Replay(sweep.NewUnit(workloadName, sched.Baseline, sim.Deep(), 0, 0), set, prof)
 	if err != nil {
 		panic(err)
 	}
-	add, err := sched.Run(sched.ADDICT, set, deepCfg)
+	add, err := sweep.Replay(sweep.NewUnit(workloadName, sched.ADDICT, sim.Deep(), 0, 0), set, prof)
 	if err != nil {
 		panic(err)
 	}

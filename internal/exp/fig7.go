@@ -5,6 +5,7 @@ import (
 
 	"addict/internal/sched"
 	"addict/internal/stats"
+	"addict/internal/sweep"
 )
 
 // Fig7 sweeps the batch size (the number of concurrent transactions, i.e.
@@ -30,21 +31,31 @@ var Fig7BatchSizes = []int{2, 4, 8, 16, 32}
 // concurrency) varies against the fixed full-load Baseline, reproducing the
 // paper's crossover: lightly-loaded ADDICT cannot amortize its pipeline,
 // and "the reduction in the total execution time increases starting from a
-// batch size of 8".
+// batch size of 8". The figure is a thin preset over sweep units: a
+// single-workload ADDICT grid with a Threads axis, replayed through the
+// same execution path as cmd/addict-sweep.
 func Fig7(w *Workbench, workloadName string) Fig7Result {
 	res := Fig7Result{Workload: workloadName}
 	set := w.EvalSet(workloadName)
+	prof := w.Profile(workloadName)
 	base := w.Result(workloadName, sched.Baseline)
 	bm := base.Machine
-	for _, b := range Fig7BatchSizes {
-		cfg := w.SchedConfig(workloadName)
-		cfg.BatchSize = b
-		r, err := sched.Run(sched.ADDICT, set, cfg)
+	spec := sweep.Spec{
+		Workloads:  []string{workloadName},
+		Mechanisms: []string{string(sched.ADDICT)},
+		Threads:    Fig7BatchSizes,
+	}
+	units, err := spec.ExpandOn(w.P.Machine)
+	if err != nil {
+		panic(err)
+	}
+	for _, u := range units {
+		r, err := sweep.Replay(u, set, prof)
 		if err != nil {
 			panic(err)
 		}
 		res.Points = append(res.Points, Fig7Point{
-			BatchSize: b,
+			BatchSize: u.Threads,
 			CyclesN:   ratio(float64(r.Makespan), float64(base.Makespan)),
 			L1IN:      ratio(r.Machine.MPKI(r.Machine.L1IMisses), bm.MPKI(bm.L1IMisses)),
 		})

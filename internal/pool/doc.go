@@ -1,0 +1,9 @@
+// Package pool provides the bounded worker pool and the single-flight
+// memoization map shared by the parallel experiment engine (internal/exp),
+// the parameter-sweep engine (internal/sweep), sharded trace generation
+// (internal/workload), and the concurrent facade (package addict).
+//
+// It has no counterpart in the paper: it exists so the Section 4 evaluation
+// — and the sensitivity sweeps built on top of it — can run on a worker
+// pool while staying byte-identical to a serial run.
+package pool

@@ -1,0 +1,37 @@
+package pool
+
+import "sync"
+
+// onceCell holds one single-flight artifact.
+type onceCell[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// OnceMap is a concurrency-safe memoization map with single-flight
+// semantics: the first caller of a key computes the value while later
+// callers block until it is ready; the computation runs exactly once. The
+// zero value is ready to use. It is the caching primitive behind both the
+// experiment workbench (internal/exp) and the sweep engine
+// (internal/sweep), whose determinism guarantees rest on every artifact
+// being computed once with order-free content.
+type OnceMap[V any] struct {
+	mu sync.Mutex
+	m  map[string]*onceCell[V]
+}
+
+// Do returns the memoized value for key, computing it with fn on first use.
+func (om *OnceMap[V]) Do(key string, fn func() V) V {
+	om.mu.Lock()
+	if om.m == nil {
+		om.m = make(map[string]*onceCell[V])
+	}
+	c, ok := om.m[key]
+	if !ok {
+		c = new(onceCell[V])
+		om.m[key] = c
+	}
+	om.mu.Unlock()
+	c.once.Do(func() { c.val = fn() })
+	return c.val
+}

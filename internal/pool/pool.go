@@ -1,6 +1,3 @@
-// Package pool provides the bounded worker pool shared by the parallel
-// experiment engine (internal/exp), sharded trace generation
-// (internal/workload), and the concurrent facade (package addict).
 package pool
 
 import "sync"

@@ -1,0 +1,13 @@
+// Package power estimates per-core power from simulator activity counters —
+// the reproduction's stand-in for McPAT (Section 4.7, Figure 8b; DESIGN.md
+// Section 2 documents the substitution).
+//
+// The model splits energy into a dynamic part that tracks work done
+// (instructions, cache and memory events, migrations — nearly identical
+// across scheduling mechanisms, since they execute the same transactions)
+// and a static part that tracks wall-clock time (leakage and clocks burn
+// regardless of progress). Average per-core power is total energy over
+// makespan: a mechanism that finishes the same work in fewer cycles
+// therefore draws MORE average power — Figure 8b's "ADDICT requires around
+// 10% more power than Baseline".
+package power

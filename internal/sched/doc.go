@@ -1,0 +1,11 @@
+// Package sched implements the four transaction scheduling mechanisms the
+// paper evaluates (Section 4.1): Baseline (traditional one-core-per-
+// transaction), STREX (same-core time multiplexing, ISCA'13), SLICC
+// (hardware-only computation spreading, MICRO'12), and ADDICT (software-
+// guided migration over the Step 1 migration points). All four drive the
+// same trace-replay executor on the same simulated machine, mirroring the
+// paper's "we implement all four scheduling mechanisms on the Zesto
+// simulator" — they are the series compared in Figures 5, 6, 8b, and 9.
+// online.go adds the pure-dynamic deployment of Section 3.1.3 (profile
+// while serving, then migrate).
+package sched

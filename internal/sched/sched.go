@@ -1,11 +1,3 @@
-// Package sched implements the four transaction scheduling mechanisms the
-// paper evaluates (Section 4.1): Baseline (traditional one-core-per-
-// transaction), STREX (same-core time multiplexing, ISCA'13), SLICC
-// (hardware-only computation spreading, MICRO'12), and ADDICT (software-
-// guided migration over the Step 1 migration points). All four drive the
-// same trace-replay executor on the same simulated machine, mirroring the
-// paper's "we implement all four scheduling mechanisms on the Zesto
-// simulator".
 package sched
 
 import (
@@ -37,6 +29,12 @@ type Config struct {
 	// BatchSize is the number of same-type transactions batched together;
 	// 0 means "number of cores" (the paper's default, Section 3.2.1).
 	BatchSize int
+	// AdmitLimit caps the number of concurrently admitted transactions
+	// independently of the batch size (sweep axis: thread admission).
+	// 0 keeps each mechanism's default: the batch size for SLICC and
+	// ADDICT; unbounded (concurrency limited by the core queues) for
+	// STREX, and for Baseline unless BatchSize models the load.
+	AdmitLimit int
 	// Profile supplies ADDICT's migration points (required for ADDICT).
 	Profile *core.Profile
 
@@ -88,25 +86,34 @@ func (c Config) batchSize() int {
 // simulation result.
 func Run(mech Mechanism, s *trace.Set, cfg Config) (sim.Result, error) {
 	m := sim.NewMachine(cfg.Machine)
+	// admit applies the explicit admission cap, if any, over a mechanism's
+	// default in-flight bound.
+	admit := func(def int) int {
+		if cfg.AdmitLimit > 0 {
+			return cfg.AdmitLimit
+		}
+		return def
+	}
 	switch mech {
 	case Baseline:
 		hooks := &baselineHooks{cores: cfg.Machine.Cores}
 		ex := sim.NewExecutor(m, hooks, s.Traces)
 		// An explicit batch size models server load for Baseline too
 		// (Figure 7 compares mechanisms at equal concurrency).
-		ex.AdmitLimit = cfg.BatchSize
+		ex.AdmitLimit = admit(cfg.BatchSize)
 		return ex.Run(), nil
 	case STREX:
 		ordered := batchByType(s.Traces, cfg.batchSize())
 		hooks := newStrexHooks(cfg)
 		ex := sim.NewExecutor(m, hooks, ordered)
+		ex.AdmitLimit = admit(0)
 		applyBatches(ex, ordered, cfg.batchSize())
 		return ex.Run(), nil
 	case SLICC:
 		ordered := batchByType(s.Traces, cfg.batchSize())
 		hooks := newSliccHooks(cfg)
 		ex := sim.NewExecutor(m, hooks, ordered)
-		ex.AdmitLimit = cfg.batchSize()
+		ex.AdmitLimit = admit(cfg.batchSize())
 		ex.BatchBarrier = cfg.BatchBarrier
 		applyBatches(ex, ordered, cfg.batchSize())
 		hooks.bind(ex)
@@ -118,7 +125,7 @@ func Run(mech Mechanism, s *trace.Set, cfg Config) (sim.Result, error) {
 		ordered := batchByType(s.Traces, cfg.batchSize())
 		hooks := newAddictHooks(cfg)
 		ex := sim.NewExecutor(m, hooks, ordered)
-		ex.AdmitLimit = cfg.batchSize()
+		ex.AdmitLimit = admit(cfg.batchSize())
 		ex.BatchBarrier = cfg.BatchBarrier
 		applyBatches(ex, ordered, cfg.batchSize())
 		hooks.bind(ex)

@@ -1,0 +1,5 @@
+// Package stats implements the analyses of the paper's memory
+// characterization study (Section 2): footprint-overlap bucketing
+// (Figure 2's pies), within-instance reuse profiles (Figure 3), and the
+// text-table rendering shared by every experiment report and sweep emitter.
+package stats

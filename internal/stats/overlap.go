@@ -1,7 +1,3 @@
-// Package stats implements the analyses of the paper's memory
-// characterization study (Section 2): footprint-overlap bucketing
-// (Figure 2), within-instance reuse profiles (Figure 3), and the text-table
-// rendering shared by every experiment report.
 package stats
 
 import "sort"

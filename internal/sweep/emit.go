@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"addict/internal/stats"
+)
+
+// Emitter receives sweep results in unit (expansion) order. Begin is called
+// once with the full expanded grid before any result, Emit once per unit as
+// its result becomes available, End once after the last unit. Every emitter
+// must produce deterministic bytes for a given (units, metrics) sequence —
+// the engine's worker-count byte-identity guarantee extends through the
+// emitter.
+type Emitter interface {
+	Begin(units []Unit) error
+	Emit(u Unit, m Metrics) error
+	End() error
+}
+
+// Formats lists the built-in emitter format names.
+var Formats = []string{"table", "csv", "jsonl"}
+
+// NewEmitter builds a built-in emitter by format name: "table" (aligned
+// text), "csv" (machine-readable, one header row), or "jsonl" (one JSON
+// object per unit).
+func NewEmitter(format string, out io.Writer) (Emitter, error) {
+	switch format {
+	case "table":
+		return &tableEmitter{out: out}, nil
+	case "csv":
+		return &csvEmitter{out: out}, nil
+	case "jsonl":
+		return &jsonlEmitter{out: out}, nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown format %q (want %s)", format, strings.Join(Formats, ", "))
+	}
+}
+
+// row is the flat per-unit record the machine-readable emitters share:
+// every axis value spelled out (not just the composite ID) plus the
+// metrics, so downstream analysis never needs to parse the ID.
+type row struct {
+	ID           string `json:"id"`
+	Workload     string `json:"workload"`
+	Mechanism    string `json:"mechanism"`
+	Cores        int    `json:"cores"`
+	Hierarchy    string `json:"hierarchy"`
+	L1IBytes     int    `json:"l1i_bytes"`
+	L1IWays      int    `json:"l1i_ways"`
+	LLCBytes     int    `json:"llc_bytes"`
+	LLCWays      int    `json:"llc_ways"`
+	LLCHitCycles uint64 `json:"llc_hit_cycles"`
+	MemCycles    uint64 `json:"mem_cycles"`
+	Threads      int    `json:"threads"`
+	Admit        int    `json:"admit"`
+	Metrics
+}
+
+func newRow(u Unit, m Metrics) row {
+	return row{
+		ID:           u.ID,
+		Workload:     u.Workload,
+		Mechanism:    string(u.Mechanism),
+		Cores:        u.Machine.Cores,
+		Hierarchy:    hierarchyLabel(u.Machine),
+		L1IBytes:     u.Machine.L1I.SizeBytes,
+		L1IWays:      u.Machine.L1I.Ways,
+		LLCBytes:     u.Machine.Shared.SizeBytes,
+		LLCWays:      u.Machine.Shared.Ways,
+		LLCHitCycles: u.Machine.SharedHitCycles,
+		MemCycles:    u.Machine.MemCycles,
+		Threads:      u.Threads,
+		Admit:        u.Admit,
+		Metrics:      m,
+	}
+}
+
+// csvEmitter streams one comma-separated line per unit under a single
+// header row. Fields never contain commas (unit IDs use "/" and "."), so
+// no quoting is needed and the output is byte-stable.
+type csvEmitter struct{ out io.Writer }
+
+// csvHeader is the fixed column order.
+var csvHeader = []string{
+	"id", "workload", "mechanism", "cores", "hierarchy",
+	"l1i_bytes", "l1i_ways", "llc_bytes", "llc_ways",
+	"llc_hit_cycles", "mem_cycles", "threads", "admit",
+	"makespan_cycles", "avg_latency_cycles", "instructions", "ipc",
+	"l1i_mpki", "l1d_mpki", "llc_mpki", "switches_per_ki", "overhead_share",
+}
+
+func (e *csvEmitter) Begin(units []Unit) error {
+	_, err := fmt.Fprintln(e.out, strings.Join(csvHeader, ","))
+	return err
+}
+
+func (e *csvEmitter) Emit(u Unit, m Metrics) error {
+	r := newRow(u, m)
+	_, err := fmt.Fprintf(e.out, "%s,%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%.4f,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+		r.ID, r.Workload, r.Mechanism, r.Cores, r.Hierarchy,
+		r.L1IBytes, r.L1IWays, r.LLCBytes, r.LLCWays,
+		r.LLCHitCycles, r.MemCycles, r.Threads, r.Admit,
+		r.Makespan, r.AvgLatency, r.Instructions, r.IPC,
+		r.L1IMPKI, r.L1DMPKI, r.LLCMPKI, r.SwitchesPerKI, r.OverheadShare)
+	return err
+}
+
+func (e *csvEmitter) End() error { return nil }
+
+// jsonlEmitter streams one JSON object per unit. Field order is fixed by
+// the row struct, so the bytes are deterministic.
+type jsonlEmitter struct{ out io.Writer }
+
+func (e *jsonlEmitter) Begin(units []Unit) error { return nil }
+
+func (e *jsonlEmitter) Emit(u Unit, m Metrics) error {
+	b, err := json.Marshal(newRow(u, m))
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = e.out.Write(b)
+	return err
+}
+
+func (e *jsonlEmitter) End() error { return nil }
+
+// tableEmitter renders an aligned text table. Alignment needs every row's
+// width, so rows buffer and the table renders at End — the one emitter that
+// trades streaming for human-readable columns.
+type tableEmitter struct {
+	out io.Writer
+	t   stats.Table
+}
+
+func (e *tableEmitter) Begin(units []Unit) error {
+	if _, err := fmt.Fprintf(e.out, "Parameter sweep: %d units\n\n", len(units)); err != nil {
+		return err
+	}
+	e.t.Header = []string{
+		"unit", "makespan", "avg lat", "ipc",
+		"L1-I mpki", "L1-D mpki", "LLC mpki", "sw/ki", "overhead",
+	}
+	return nil
+}
+
+func (e *tableEmitter) Emit(u Unit, m Metrics) error {
+	e.t.AddRow(u.ID,
+		stats.U(m.Makespan), stats.F(m.AvgLatency, 1), stats.F(m.IPC, 3),
+		stats.F(m.L1IMPKI, 2), stats.F(m.L1DMPKI, 2), stats.F(m.LLCMPKI, 2),
+		stats.F(m.SwitchesPerKI, 3), stats.Pct(m.OverheadShare))
+	return nil
+}
+
+func (e *tableEmitter) End() error {
+	// stats.Table.Render cannot report write errors; render into a buffer
+	// and do one checked write so the error contract matches csv/jsonl.
+	var buf bytes.Buffer
+	e.t.Render(&buf)
+	_, err := e.out.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,229 @@
+package sweep
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"addict/internal/codemap"
+	"addict/internal/core"
+	"addict/internal/pool"
+	"addict/internal/sched"
+	"addict/internal/sim"
+	"addict/internal/trace"
+	"addict/internal/workload"
+)
+
+// Metrics are the per-unit outcomes every emitter reports. All values are
+// raw (not normalized): normalization needs a baseline point, and which
+// point that is belongs to the analysis over the emitted rows, not to the
+// engine.
+type Metrics struct {
+	// Makespan is the cycle the last transaction completed at.
+	Makespan uint64 `json:"makespan_cycles"`
+	// AvgLatency is the mean transaction latency in cycles.
+	AvgLatency float64 `json:"avg_latency_cycles"`
+	// Instructions is the dynamic instruction count.
+	Instructions uint64 `json:"instructions"`
+	// IPC is aggregate instructions per cycle (Instructions / Makespan).
+	IPC float64 `json:"ipc"`
+	// MPKI per cache level.
+	L1IMPKI float64 `json:"l1i_mpki"`
+	L1DMPKI float64 `json:"l1d_mpki"`
+	LLCMPKI float64 `json:"llc_mpki"`
+	// SwitchesPerKI is migrations+switches per 1000 instructions.
+	SwitchesPerKI float64 `json:"switches_per_ki"`
+	// OverheadShare is migration/switch cycles over busy cycles.
+	OverheadShare float64 `json:"overhead_share"`
+}
+
+// Measure reduces a simulation result to the sweep metrics.
+func Measure(r sim.Result) Metrics {
+	m := r.Machine
+	ipc := 0.0
+	if r.Makespan > 0 {
+		ipc = float64(m.Instructions) / float64(r.Makespan)
+	}
+	return Metrics{
+		Makespan:      r.Makespan,
+		AvgLatency:    r.AvgLatency(),
+		Instructions:  m.Instructions,
+		IPC:           ipc,
+		L1IMPKI:       m.MPKI(m.L1IMisses),
+		L1DMPKI:       m.MPKI(m.L1DMisses),
+		LLCMPKI:       m.MPKI(m.SharedMisses),
+		SwitchesPerKI: r.SwitchesPerKInstr(),
+		OverheadShare: r.OverheadShare(),
+	}
+}
+
+// Replay executes one unit over prepared artifacts: the scheduling
+// configuration is assembled from the unit's machine and load parameters on
+// top of the frozen mechanism knobs (sched.DefaultConfig). This is the
+// single execution path shared by the sweep engine and internal/exp's
+// figure runners — a figure is a preset grid point replayed here.
+func Replay(u Unit, set *trace.Set, prof *core.Profile) (sim.Result, error) {
+	cfg := sched.DefaultConfig(u.Machine)
+	cfg.Profile = prof
+	cfg.BatchSize = u.Threads
+	cfg.AdmitLimit = u.Admit
+	return sched.Run(u.Mechanism, set, cfg)
+}
+
+// Artifacts caches the artifacts experiment units share — the one
+// implementation of the trace-window and profiling recipe, used by both the
+// sweep engine and internal/exp's Workbench. Trace sets are keyed by
+// workload over fixed (seed, scale, window) parameters; migration-point
+// profiles are keyed by (workload, L1-I geometry), because Algorithm 1's
+// output depends on the cache it profiles against. Every artifact is
+// single-flight memoized and content-independent of computation order.
+type Artifacts struct {
+	seed          int64
+	scale         float64
+	profileTraces int
+	evalTraces    int
+	// workers bounds the generation parallelism of sharded trace requests
+	// (1 = serial). It does not affect content.
+	workers int
+	layout  *codemap.Layout
+
+	profSets pool.OnceMap[*trace.Set]
+	evalSets pool.OnceMap[*trace.Set]
+	profiles pool.OnceMap[*core.Profile]
+}
+
+// NewArtifacts prepares an empty artifact cache whose trace generation may
+// use up to `workers` goroutines (values below 1 run serially).
+func NewArtifacts(seed int64, scale float64, profileTraces, evalTraces, workers int) *Artifacts {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Artifacts{
+		seed:          seed,
+		scale:         scale,
+		profileTraces: profileTraces,
+		evalTraces:    evalTraces,
+		workers:       workers,
+		layout:        codemap.NewLayout(),
+	}
+}
+
+// Layout returns the storage manager's code layout (no-migrate zones,
+// routine ranges) the cache profiles against.
+func (a *Artifacts) Layout() *codemap.Layout { return a.layout }
+
+// ProfileSet returns the workload's profiling window (the paper's "first
+// 1000" traces): shards [0, NumShards(profileTraces)) of the sharded trace
+// space, worker-count independent.
+func (a *Artifacts) ProfileSet(name string) *trace.Set {
+	return a.profSets.Do(name, func() *trace.Set {
+		s, err := workload.GenerateSetSharded(name, a.seed, a.scale,
+			0, a.profileTraces, workload.DefaultShardSize, a.workers)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	})
+}
+
+// EvalSet returns the workload's evaluation window (the paper's "next
+// 1000"): the shards immediately after the profiling window, so the two
+// sets are disjoint by construction regardless of computation order.
+func (a *Artifacts) EvalSet(name string) *trace.Set {
+	return a.evalSets.Do(name, func() *trace.Set {
+		base := workload.NumShards(a.profileTraces, workload.DefaultShardSize)
+		s, err := workload.GenerateSetSharded(name, a.seed, a.scale,
+			base, a.evalTraces, workload.DefaultShardSize, a.workers)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	})
+}
+
+// Profile returns Algorithm 1's output for a workload against the given
+// machine's L1-I geometry, with the storage manager's no-migrate zones
+// applied (Section 3.1.3).
+func (a *Artifacts) Profile(name string, m sim.Config) *core.Profile {
+	key := fmt.Sprintf("%s\x00%d\x00%d", name, m.L1I.SizeBytes, m.L1I.Ways)
+	return a.profiles.Do(key, func() *core.Profile {
+		cfg := core.ProfileConfig{L1I: m.L1I, NoMigrate: a.layout.NoMigrate}
+		return core.FindMigrationPoints(a.ProfileSet(name), cfg)
+	})
+}
+
+// runUnit executes one unit over the artifact cache. Only ADDICT consults
+// the migration-point profile, so other mechanisms skip Algorithm 1
+// entirely.
+func runUnit(a *Artifacts, u Unit) (Metrics, error) {
+	var prof *core.Profile
+	if u.Mechanism == sched.ADDICT {
+		prof = a.Profile(u.Workload, u.Machine)
+	}
+	r, err := Replay(u, a.EvalSet(u.Workload), prof)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("sweep: %s: %w", u.ID, err)
+	}
+	return Measure(r), nil
+}
+
+// Run expands the spec and executes every unit on up to `workers`
+// goroutines (values below 1 run serially), streaming each unit's result to
+// the emitter in expansion order as soon as the unit (and every unit before
+// it) has finished. Output is byte-identical for every worker count: unit
+// execution order never affects content (deterministic simulation over
+// single-flight, order-free artifacts) and emission order is fixed by the
+// grid, not by completion.
+func Run(spec Spec, em Emitter, workers int) error {
+	units, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	// Validate workload names before spending any cycles.
+	seen := map[string]bool{}
+	for _, u := range units {
+		if !seen[u.Workload] {
+			if _, err := workload.Builder(u.Workload); err != nil {
+				return fmt.Errorf("sweep: %w", err)
+			}
+			seen[u.Workload] = true
+		}
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	s := spec.withDefaults()
+	arts := NewArtifacts(s.Seed, s.Scale, s.ProfileTraces, s.EvalTraces, workers)
+	results := make([]Metrics, len(units))
+	errs := make([]error, len(units))
+	done := make([]chan struct{}, len(units))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	// stopped makes the remaining units no-ops after an error return, so
+	// the pool goroutine drains immediately instead of simulating a grid
+	// nobody will read.
+	var stopped atomic.Bool
+	stop := func(err error) error { stopped.Store(true); return err }
+	go pool.Run(workers, len(units), func(i int) {
+		defer close(done[i])
+		if stopped.Load() {
+			return
+		}
+		results[i], errs[i] = runUnit(arts, units[i])
+	})
+
+	if err := em.Begin(units); err != nil {
+		return stop(err)
+	}
+	for i := range units {
+		<-done[i]
+		if errs[i] != nil {
+			return stop(errs[i])
+		}
+		if err := em.Emit(units[i], results[i]); err != nil {
+			return stop(err)
+		}
+	}
+	return em.End()
+}
