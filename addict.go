@@ -52,6 +52,7 @@ import (
 	"io"
 	"runtime"
 
+	"addict/internal/bench"
 	"addict/internal/codemap"
 	"addict/internal/core"
 	"addict/internal/exp"
@@ -328,6 +329,39 @@ func RunSweep(out io.Writer, spec SweepSpec, format string, workers int) error {
 // ExpandSweep resolves a sweep grid into its units without running them —
 // for previewing unit counts and IDs before committing to a long sweep.
 func ExpandSweep(spec SweepSpec) ([]SweepUnit, error) { return spec.Expand() }
+
+// BenchConfig scopes a replay-core benchmark harness run (see
+// internal/bench). The zero value selects the standard sizes
+// (DefaultBenchConfig), which every BENCH_*.json trajectory point uses so
+// reports stay comparable across PRs.
+type BenchConfig = bench.Config
+
+// BenchReport is one full benchmark-harness run: per mechanism × workload
+// replay throughput and allocation behavior, plus the aggregate replay
+// summary.
+type BenchReport = bench.Report
+
+// BenchFile is the on-disk BENCH_*.json layout: a current report, an
+// optional recorded baseline, and the events/sec speedup between them.
+type BenchFile = bench.File
+
+// DefaultBenchConfig returns the standard benchmark-harness setup.
+func DefaultBenchConfig() BenchConfig { return bench.DefaultConfig() }
+
+// RunBench executes the replay-core benchmark harness, streaming one
+// progress line per cell to progress when non-nil.
+func RunBench(cfg BenchConfig, progress io.Writer) (*BenchReport, error) {
+	return bench.Run(cfg, progress)
+}
+
+// CompareBench pairs a current report with a recorded baseline (nil for
+// none) into the on-disk bench-file layout.
+func CompareBench(baseline, current *BenchReport) *BenchFile {
+	return bench.Compare(baseline, current)
+}
+
+// ReadBenchFile parses a BENCH_*.json file (or a bare report).
+func ReadBenchFile(r io.Reader) (*BenchFile, error) { return bench.ReadFile(r) }
 
 // WriteTraces serializes a trace set in the binary trace format.
 func WriteTraces(w io.Writer, s *TraceSet) error { return trace.WriteSet(w, s) }

@@ -1,6 +1,8 @@
 // Command addict-bench regenerates the paper's evaluation: every table and
 // figure (Table 1, Figures 1-9) plus the ablations, or any single
-// experiment by id.
+// experiment by id. With -json it instead runs the replay-core benchmark
+// harness (internal/bench) and emits a machine-readable performance report
+// — the BENCH_*.json trajectory every PR is measured against.
 //
 // Usage:
 //
@@ -10,10 +12,15 @@
 //	addict-bench -exp fig5       # a single experiment
 //	addict-bench -traces 500     # override trace counts
 //	addict-bench -list           # list experiment ids
+//	addict-bench -json BENCH.json                     # benchmark harness
+//	addict-bench -json BENCH_4.json -baseline BENCH_3.json
 //
 // The full report runs on a worker pool (-parallel, default: all available
 // CPUs) and is byte-identical to the serial run (-parallel 1) — see the
-// determinism notes in package addict.
+// determinism notes in package addict. The benchmark harness is strictly
+// serial so its cells are comparable across runs; -baseline embeds a
+// previous report (a BENCH_*.json or its "current" section) and records
+// the events/sec speedup against it.
 package main
 
 import (
@@ -37,8 +44,18 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override workload seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the full report (1 = serial; output is identical)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut  = flag.String("json", "", "run the replay benchmark harness and write the JSON report to this file (- = stdout)")
+		baseline = flag.String("baseline", "", "previous BENCH_*.json (or bare report) to embed and compute the speedup against (with -json)")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runBenchHarness(*jsonOut, *baseline, *traces, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		ids := addict.ExperimentIDs()
@@ -77,4 +94,61 @@ func main() {
 		addict.RunAllExperimentsParallel(out, p, *parallel)
 	}
 	fmt.Fprintf(out, "\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runBenchHarness runs the internal/bench replay harness and writes the
+// BENCH_*.json file. Overrides of 0 keep the standard (comparable) sizes.
+func runBenchHarness(jsonOut, baselinePath string, traces int, scale float64, seed int64) error {
+	cfg := addict.DefaultBenchConfig()
+	if traces > 0 {
+		cfg.ProfileTraces = traces
+		cfg.EvalTraces = traces
+	}
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+
+	var base *addict.BenchReport
+	if baselinePath != "" {
+		bf, err := os.Open(baselinePath)
+		if err != nil {
+			return err
+		}
+		parsed, err := addict.ReadBenchFile(bf)
+		bf.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", baselinePath, err)
+		}
+		base = parsed.Current
+	}
+
+	start := time.Now()
+	rep, err := addict.RunBench(cfg, os.Stderr)
+	if err != nil {
+		return err
+	}
+	file := addict.CompareBench(base, rep)
+
+	w := os.Stdout
+	if jsonOut != "-" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := file.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "replay: %.2fM events/sec (%.1f ns/event)",
+		rep.Replay.EventsPerSec/1e6, rep.Replay.NsPerEvent)
+	if file.SpeedupEventsPerSec > 0 {
+		fmt.Fprintf(os.Stderr, ", %.2fx vs baseline", file.SpeedupEventsPerSec)
+	}
+	fmt.Fprintf(os.Stderr, " (%v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

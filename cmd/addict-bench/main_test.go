@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"addict/cmd/internal/cmdtest"
+)
+
+// TestListExperiments checks -list prints the experiment ids.
+func TestListExperiments(t *testing.T) {
+	exe := cmdtest.Build(t)
+	stdout, _ := cmdtest.Run(t, exe, "-list")
+	for _, id := range []string{"table1", "fig5", "ablations"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+// TestSingleExperiment runs the cheapest experiment end to end.
+func TestSingleExperiment(t *testing.T) {
+	exe := cmdtest.Build(t)
+	stdout, _ := cmdtest.Run(t, exe, "-exp", "table1")
+	if !strings.Contains(stdout, "Table 1") {
+		t.Errorf("table1 output missing its header:\n%s", stdout)
+	}
+}
+
+// TestBenchJSON runs the benchmark harness at tiny sizes and validates the
+// emitted BENCH file, including the baseline/speedup wiring.
+func TestBenchJSON(t *testing.T) {
+	exe := cmdtest.Build(t)
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.json")
+	cmdtest.Run(t, exe, "-json", first, "-traces", "8", "-scale", "0.05")
+
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Baseline *json.RawMessage `json:"baseline"`
+		Current  *struct {
+			Schema string `json:"schema"`
+			Replay struct {
+				Events       uint64  `json:"events"`
+				EventsPerSec float64 `json:"events_per_sec"`
+			} `json:"replay"`
+			Cells []struct {
+				Workload  string `json:"workload"`
+				Mechanism string `json:"mechanism"`
+			} `json:"cells"`
+		} `json:"current"`
+		Speedup float64 `json:"speedup_events_per_sec"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("parsing %s: %v", first, err)
+	}
+	if file.Current == nil || file.Current.Schema != "addict-bench/v1" {
+		t.Fatalf("bad schema in %s", data)
+	}
+	if file.Current.Replay.EventsPerSec <= 0 || file.Current.Replay.Events == 0 {
+		t.Fatalf("degenerate replay summary: %s", data)
+	}
+	if got, want := len(file.Current.Cells), 3*4; got != want {
+		t.Fatalf("%d cells, want %d (3 workloads × 4 mechanisms)", got, want)
+	}
+	if file.Speedup != 0 {
+		t.Fatalf("speedup recorded without a baseline: %v", file.Speedup)
+	}
+
+	// Second run against the first as baseline must record a speedup.
+	second := filepath.Join(dir, "second.json")
+	cmdtest.Run(t, exe, "-json", second, "-baseline", first, "-traces", "8", "-scale", "0.05")
+	data, err = os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withBase struct {
+		Baseline *json.RawMessage `json:"baseline"`
+		Speedup  float64          `json:"speedup_events_per_sec"`
+	}
+	if err := json.Unmarshal(data, &withBase); err != nil {
+		t.Fatal(err)
+	}
+	if withBase.Baseline == nil || withBase.Speedup <= 0 {
+		t.Fatalf("baseline run missing baseline or speedup")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"addict/cmd/internal/cmdtest"
+)
+
+// TestAxesListing checks the -axes flag parses and documents every grid
+// axis.
+func TestAxesListing(t *testing.T) {
+	exe := cmdtest.Build(t)
+	stdout, _ := cmdtest.Run(t, exe, "-axes")
+	for _, axis := range []string{"workload", "mech", "l1i", "cores", "threads", "admit"} {
+		if !strings.Contains(stdout, axis) {
+			t.Errorf("-axes output missing %q", axis)
+		}
+	}
+}
+
+// TestSmoke runs a tiny two-unit grid end to end in CSV form.
+func TestSmoke(t *testing.T) {
+	exe := cmdtest.Build(t)
+	stdout, _ := cmdtest.Run(t, exe,
+		"-grid", "workload=TPC-B; mech=Baseline,ADDICT", "-traces", "8", "-scale", "0.05", "-format", "csv")
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 unit rows, got %d lines:\n%s", len(lines), stdout)
+	}
+	if !strings.Contains(lines[0], "mechanism") {
+		t.Errorf("missing CSV header: %q", lines[0])
+	}
+	if !strings.Contains(stdout, "Baseline") || !strings.Contains(stdout, "ADDICT") {
+		t.Errorf("unit rows missing mechanisms:\n%s", stdout)
+	}
+}

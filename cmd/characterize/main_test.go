@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"addict/cmd/internal/cmdtest"
+)
+
+// TestSmoke runs the Section 2 characterization end to end at tiny sizes
+// and checks that all three figures render.
+func TestSmoke(t *testing.T) {
+	exe := cmdtest.Build(t)
+	stdout, _ := cmdtest.Run(t, exe, "-traces", "8", "-scale", "0.05", "-seed", "7")
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"addict"
+	"addict/cmd/internal/cmdtest"
+)
+
+// TestSmoke generates a tiny trace file end to end and decodes it back.
+func TestSmoke(t *testing.T) {
+	exe := cmdtest.Build(t)
+	out := filepath.Join(t.TempDir(), "tiny.traces")
+	_, stderr := cmdtest.Run(t, exe,
+		"-workload", "TPC-B", "-n", "3", "-scale", "0.05", "-seed", "7", "-o", out)
+	if !strings.Contains(stderr, "3 traces") {
+		t.Fatalf("summary line missing trace count:\n%s", stderr)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	set, err := addict.ReadTraces(f)
+	if err != nil {
+		t.Fatalf("decoding generated file: %v", err)
+	}
+	if set.Workload != "TPC-B" || len(set.Traces) != 3 {
+		t.Fatalf("got %q with %d traces, want TPC-B with 3", set.Workload, len(set.Traces))
+	}
+	for i, tr := range set.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trace %d invalid: %v", i, err)
+		}
+	}
+}

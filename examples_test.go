@@ -1,0 +1,45 @@
+package addict_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program — examples are
+// documentation, and documentation that does not compile is wrong.
+func TestExamplesBuild(t *testing.T) {
+	cmd := exec.Command("go", "build", "-o", t.TempDir()+string(filepath.Separator), "./examples/...")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building examples: %v\n%s", err, out)
+	}
+}
+
+// TestQuickstartRuns executes the quickstart example end to end and spot
+// checks the pipeline stages it narrates (profiling, scheduling, the
+// Baseline/ADDICT comparison).
+func TestQuickstartRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quickstart replays four mechanisms; skipped in -short runs")
+	}
+	exe := filepath.Join(t.TempDir(), "quickstart")
+	build := exec.Command("go", "build", "-o", exe, "./examples/quickstart")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building quickstart: %v\n%s", err, out)
+	}
+	var out bytes.Buffer
+	run := exec.Command(exe)
+	run.Stdout = &out
+	run.Stderr = &out
+	if err := run.Run(); err != nil {
+		t.Fatalf("running quickstart: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"quickstart", "profiled", "L1-I MPKI", "migrations"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package bench is the replay-core benchmark harness: it measures replay
+// throughput (events/sec, ns/event) and allocation behavior (allocs/event,
+// steady-state allocs/event) for every scheduling mechanism × workload cell,
+// and emits machine-readable reports so each PR leaves a performance
+// trajectory (BENCH_*.json) the next one must beat. cmd/addict-bench -json
+// is the command-line entry point; Compare pairs a current report with a
+// recorded baseline and computes the speedup.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"addict/internal/core"
+	"addict/internal/sched"
+	"addict/internal/sim"
+	"addict/internal/sweep"
+	"addict/internal/trace"
+)
+
+// Config scopes one harness run.
+type Config struct {
+	// Workloads are the benchmark names to measure (default: TPC-B/C/E).
+	Workloads []string
+	// Mechanisms are the scheduling mechanisms to measure (default: all).
+	Mechanisms []sched.Mechanism
+	// Seed/Scale/ProfileTraces/EvalTraces mirror exp.Params (defaults:
+	// the quick evaluation sizes, so cells are comparable across PRs).
+	Seed          int64
+	Scale         float64
+	ProfileTraces int
+	EvalTraces    int
+	// Machine is the simulated hardware (default: the Table 1 machine).
+	Machine sim.Config
+	// MinRuns and MinDuration bound each cell's measurement loop: a cell
+	// replays its trace set at least MinRuns times and for at least
+	// MinDuration of wall clock.
+	MinRuns     int
+	MinDuration time.Duration
+	// Workers parallelizes trace generation only; measurement itself is
+	// strictly serial so cells are comparable.
+	Workers int
+}
+
+// DefaultConfig returns the standard harness setup (quick evaluation
+// sizes). Reports generated from different sizes are not comparable;
+// BENCH_*.json trajectories should all use this configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workloads:     []string{"TPC-B", "TPC-C", "TPC-E"},
+		Mechanisms:    sched.Mechanisms,
+		Seed:          42,
+		Scale:         0.5,
+		ProfileTraces: 250,
+		EvalTraces:    250,
+		Machine:       sim.Shallow(),
+		MinRuns:       2,
+		MinDuration:   300 * time.Millisecond,
+		Workers:       1,
+	}
+}
+
+// Cell is one mechanism × workload measurement.
+type Cell struct {
+	Workload  string `json:"workload"`
+	Mechanism string `json:"mechanism"`
+	// Events is the number of trace events one replay executes.
+	Events uint64 `json:"events"`
+	// Runs is how many times the replay was repeated for the measurement.
+	Runs int `json:"runs"`
+	// NsPerEvent and EventsPerSec describe replay throughput; both count
+	// full replays (executor construction included) since that is the unit
+	// every experiment pays for.
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerEvent and BytesPerEvent are total heap activity per event,
+	// setup included. SteadyAllocsPerEvent isolates the per-event loop: it
+	// is the marginal allocations per additional event when the same
+	// thread/batch structure replays a longer event stream (see
+	// SteadyStateAllocsPerEvent), and is 0 for an allocation-free
+	// steady-state replay core.
+	AllocsPerEvent       float64 `json:"allocs_per_event"`
+	BytesPerEvent        float64 `json:"bytes_per_event"`
+	SteadyAllocsPerEvent float64 `json:"steady_allocs_per_event"`
+}
+
+// Summary aggregates the replay benchmark over all cells: total events
+// divided by total wall-clock across every mechanism × workload replay.
+type Summary struct {
+	Events       uint64  `json:"events"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+}
+
+// Report is one full harness run.
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Seed          int64   `json:"seed"`
+	Scale         float64 `json:"scale"`
+	ProfileTraces int     `json:"profile_traces"`
+	EvalTraces    int     `json:"eval_traces"`
+
+	// Replay is the headline aggregate ("the replay benchmark"): every
+	// cell's events over every cell's seconds.
+	Replay Summary `json:"replay"`
+	Cells  []Cell  `json:"cells"`
+}
+
+// schemaID tags reports so future format changes stay detectable.
+const schemaID = "addict-bench/v1"
+
+// Run executes the harness and returns the report. Progress lines go to
+// progress when non-nil (one per cell; measurement noise is easier to
+// diagnose when the slow cell is visible).
+func Run(cfg Config, progress io.Writer) (*Report, error) {
+	cfg = withDefaults(cfg)
+	arts := sweep.NewArtifacts(cfg.Seed, cfg.Scale, cfg.ProfileTraces, cfg.EvalTraces, cfg.Workers)
+	rep := &Report{
+		Schema:        schemaID,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Seed:          cfg.Seed,
+		Scale:         cfg.Scale,
+		ProfileTraces: cfg.ProfileTraces,
+		EvalTraces:    cfg.EvalTraces,
+	}
+	for _, name := range cfg.Workloads {
+		set := arts.EvalSet(name)
+		prof := arts.Profile(name, cfg.Machine)
+		for _, mech := range cfg.Mechanisms {
+			cell, err := measureCell(mech, set, prof, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s: %w", mech, name, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			rep.Replay.Events += cell.Events * uint64(cell.Runs)
+			rep.Replay.Seconds += cell.NsPerEvent * float64(cell.Events) * float64(cell.Runs) / 1e9
+			if progress != nil {
+				fmt.Fprintf(progress, "bench %-8s %-8s %8.1f ns/event  %.2fM events/sec  (%d runs)\n",
+					name, mech, cell.NsPerEvent, cell.EventsPerSec/1e6, cell.Runs)
+			}
+		}
+	}
+	if rep.Replay.Seconds > 0 {
+		rep.Replay.EventsPerSec = float64(rep.Replay.Events) / rep.Replay.Seconds
+		rep.Replay.NsPerEvent = rep.Replay.Seconds * 1e9 / float64(rep.Replay.Events)
+	}
+	return rep, nil
+}
+
+func withDefaults(cfg Config) Config {
+	def := DefaultConfig()
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = def.Workloads
+	}
+	if len(cfg.Mechanisms) == 0 {
+		cfg.Mechanisms = def.Mechanisms
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = def.Scale
+	}
+	if cfg.ProfileTraces == 0 {
+		cfg.ProfileTraces = def.ProfileTraces
+	}
+	if cfg.EvalTraces == 0 {
+		cfg.EvalTraces = def.EvalTraces
+	}
+	if cfg.Machine.Cores == 0 {
+		cfg.Machine = def.Machine
+	}
+	if cfg.MinRuns == 0 {
+		cfg.MinRuns = def.MinRuns
+	}
+	if cfg.MinDuration == 0 {
+		cfg.MinDuration = def.MinDuration
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = def.Workers
+	}
+	return cfg
+}
+
+// schedConfig builds the replay configuration for one cell.
+func schedConfig(machine sim.Config, prof *core.Profile) sched.Config {
+	cfg := sched.DefaultConfig(machine)
+	cfg.Profile = prof
+	return cfg
+}
+
+// measureCell times repeated replays of one mechanism over one set.
+func measureCell(mech sched.Mechanism, set *trace.Set, prof *core.Profile, cfg Config) (Cell, error) {
+	rcfg := schedConfig(cfg.Machine, prof)
+	events := setEvents(set)
+	if events == 0 {
+		return Cell{}, fmt.Errorf("empty trace set")
+	}
+	// Warm up once: first-run work (lazily built artifacts, map growth,
+	// branch predictors warming the scan loops) must not skew the timing.
+	if _, err := sched.Run(mech, set, rcfg); err != nil {
+		return Cell{}, err
+	}
+	var m1, m2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	start := time.Now()
+	runs := 0
+	for {
+		if _, err := sched.Run(mech, set, rcfg); err != nil {
+			return Cell{}, err
+		}
+		runs++
+		if runs >= cfg.MinRuns && time.Since(start) >= cfg.MinDuration {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m2)
+
+	total := float64(events) * float64(runs)
+	cell := Cell{
+		Workload:       set.Workload,
+		Mechanism:      string(mech),
+		Events:         events,
+		Runs:           runs,
+		NsPerEvent:     float64(elapsed.Nanoseconds()) / total,
+		EventsPerSec:   total / elapsed.Seconds(),
+		AllocsPerEvent: float64(m2.Mallocs-m1.Mallocs) / total,
+		BytesPerEvent:  float64(m2.TotalAlloc-m1.TotalAlloc) / total,
+	}
+	steady, err := SteadyStateAllocsPerEvent(mech, set, rcfg)
+	if err != nil {
+		return Cell{}, err
+	}
+	cell.SteadyAllocsPerEvent = steady
+	return cell, nil
+}
+
+// setEvents counts the events one replay of the set executes (every event
+// executes exactly once; yields retry scheduling decisions, not events).
+func setEvents(s *trace.Set) uint64 {
+	var n uint64
+	for _, t := range s.Traces {
+		n += uint64(len(t.Events))
+	}
+	return n
+}
+
+// SteadyStateAllocsPerEvent measures the marginal allocations per
+// additional replayed event: it replays the set and a variant with every
+// trace's interior doubled (same trace count, same type mix, same batch
+// structure — only the event streams are longer) and divides the
+// allocation delta by the event delta. Per-run setup (executor, batching,
+// per-thread scheduler state) cancels out, so a replay core whose
+// per-event loop never allocates measures exactly 0.
+func SteadyStateAllocsPerEvent(mech sched.Mechanism, set *trace.Set, rcfg sched.Config) (float64, error) {
+	doubled := DoubleInterior(set)
+	dEvents := float64(setEvents(doubled) - setEvents(set))
+	// Allocation noise (a stray background allocation landing inside one
+	// measurement) is strictly additive, so the minimum delta over a few
+	// repetitions is the true marginal count.
+	const repeats = 3
+	best := -1.0
+	for r := 0; r < repeats; r++ {
+		short, err := allocsPerRun(3, mech, set, rcfg)
+		if err != nil {
+			return 0, err
+		}
+		long, err := allocsPerRun(3, mech, doubled, rcfg)
+		if err != nil {
+			return 0, err
+		}
+		per := (long - short) / dEvents
+		if per < 0 {
+			// Marginal allocations cannot be negative; tiny negatives are
+			// the same noise landing in the short run.
+			per = 0
+		}
+		if best < 0 || per < best {
+			best = per
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return best, nil
+}
+
+// allocsPerRun returns the average allocation count of one replay.
+func allocsPerRun(runs int, mech sched.Mechanism, set *trace.Set, rcfg sched.Config) (float64, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	// Warm up: lazily grown caches (scheduler maps, slice capacities)
+	// reach steady shape before counting.
+	if _, err := sched.Run(mech, set, rcfg); err != nil {
+		return 0, err
+	}
+	var m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	for i := 0; i < runs; i++ {
+		if _, err := sched.Run(mech, set, rcfg); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&m2)
+	return float64(m2.Mallocs-m1.Mallocs) / float64(runs), nil
+}
+
+// DoubleInterior returns a set whose traces repeat their interior (between
+// TxnBegin and TxnEnd) twice. The result is structurally valid (operation
+// brackets stay balanced), has the same trace count and type mix — so
+// batching, placement, and per-thread scheduler state are identical — and
+// roughly twice the events. The zero-alloc guards replay it against the
+// original to isolate per-event allocations.
+func DoubleInterior(s *trace.Set) *trace.Set {
+	out := &trace.Set{Workload: s.Workload, TypeNames: s.TypeNames}
+	for _, t := range s.Traces {
+		ev := t.Events
+		if len(ev) < 2 {
+			out.Traces = append(out.Traces, t)
+			continue
+		}
+		interior := ev[1 : len(ev)-1]
+		d := make([]trace.Event, 0, 2+2*len(interior))
+		d = append(d, ev[0])
+		d = append(d, interior...)
+		d = append(d, interior...)
+		d = append(d, ev[len(ev)-1])
+		out.Traces = append(out.Traces, &trace.Trace{Type: t.Type, TypeName: t.TypeName, Events: d})
+	}
+	return out
+}
+
+// File is the on-disk BENCH_*.json layout: the current report plus the
+// pre-change baseline it is measured against.
+type File struct {
+	Baseline *Report `json:"baseline,omitempty"`
+	Current  *Report `json:"current"`
+	// SpeedupEventsPerSec is Current.Replay.EventsPerSec over
+	// Baseline.Replay.EventsPerSec (0 when no baseline is recorded).
+	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
+}
+
+// Compare builds the on-disk file from a current report and an optional
+// baseline.
+func Compare(baseline, current *Report) *File {
+	f := &File{Baseline: baseline, Current: current}
+	if baseline != nil && baseline.Replay.EventsPerSec > 0 {
+		f.SpeedupEventsPerSec = current.Replay.EventsPerSec / baseline.Replay.EventsPerSec
+	}
+	return f
+}
+
+// WriteJSON writes a bench file as indented JSON.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadFile parses a bench file. A bare Report (no current/baseline
+// wrapper) is accepted too, so a previous run's report can serve directly
+// as a baseline.
+func ReadFile(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err == nil && f.Current != nil {
+		if f.Current.Schema != schemaID {
+			return nil, fmt.Errorf("bench: unknown schema %q", f.Current.Schema)
+		}
+		return &f, nil
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: not a bench file or report: %w", err)
+	}
+	if rep.Schema != schemaID {
+		return nil, fmt.Errorf("bench: unknown schema %q", rep.Schema)
+	}
+	return &File{Current: &rep}, nil
+}

@@ -54,20 +54,34 @@ func (s Stats) MissRatio() float64 {
 // Lines are identified by 64-byte block address; the zero address is valid
 // (tracked with an explicit valid bit). Not safe for concurrent use; the
 // simulator is single-goroutine by design.
+//
+// The line array is packed: one word per way, holding the block address
+// with the valid bit folded into bit 0 (block addresses are 64-byte
+// aligned, so the low six bits are free); 0 means invalid. Packing halves
+// the bytes a set scan touches versus an (addr, valid) struct and makes
+// the hit probe a single word compare — cache.Access is the innermost loop
+// of every replayed event, so the simulator's own cache behavior matters.
+//
+// Invariant: within a set, invalid ways form a suffix. New and Flush make
+// every way invalid (a trivially valid suffix); a fill consumes the way at
+// the LRU end, shrinking the suffix by one; a hit only reorders ways in
+// front of it; and Invalidate shifts the survivors up and parks the freed
+// way at the LRU end, growing the suffix. Access therefore fills without
+// scanning for a free way: the set has one exactly when the LRU way is
+// invalid.
 type Cache struct {
 	cfg      Config
 	ways     int
 	setShift uint
 	setMask  uint64
 	// lines[set*ways+way]; within a set, index 0 is MRU, ways-1 is LRU.
-	lines []line
+	// Each word is blockAddr|1 when valid, 0 when invalid.
+	lines []uint64
 	stats Stats
 }
 
-type line struct {
-	addr  uint64
-	valid bool
-}
+// lineValid is the packed valid bit.
+const lineValid = 1
 
 // New builds a cache from cfg; it panics on invalid configuration (a
 // programming error — configurations are compiled into experiment setups).
@@ -82,7 +96,7 @@ func New(cfg Config) *Cache {
 		ways:     cfg.Ways,
 		setShift: uint(trace.BlockShift),
 		setMask:  uint64(sets - 1),
-		lines:    make([]line, blocks),
+		lines:    make([]uint64, blocks),
 	}
 }
 
@@ -121,47 +135,39 @@ type AccessResult struct {
 // Access looks up the block containing addr, fills on miss, and updates LRU
 // order. It returns the outcome, including the identity of any evicted block
 // — the signal Algorithm 1 listens for ("addr request requires an eviction",
-// line 14).
+// line 14). The steady-state path performs no allocation: a hit in the MRU
+// way returns without touching the rest of the set, any other outcome is
+// one probe scan plus one copy-based shift.
 func (c *Cache) Access(addr uint64) AccessResult {
 	addr &^= trace.BlockSize - 1
 	c.stats.Accesses++
+	tag := addr | lineValid
 	set := c.setIndex(addr) * c.ways
-	ln := c.lines[set : set+c.ways]
-	for i := range ln {
-		if ln[i].valid && ln[i].addr == addr {
+	ln := c.lines[set : set+c.ways : set+c.ways]
+	if ln[0] == tag {
+		// Hit in the MRU way: nothing moves.
+		return AccessResult{Hit: true}
+	}
+	for i := 1; i < len(ln); i++ {
+		if ln[i] == tag {
 			// Hit: move to MRU position.
-			hit := ln[i]
 			copy(ln[1:i+1], ln[:i])
-			ln[0] = hit
+			ln[0] = tag
 			return AccessResult{Hit: true}
 		}
 	}
 	c.stats.Misses++
-	// Miss: victim is the LRU way (prefer an invalid way).
+	// Miss: the victim is the LRU way. By the suffix invariant it is
+	// invalid exactly when the set still has a free way, so no scan for
+	// one is needed.
 	res := AccessResult{}
-	victim := ln[c.ways-1]
-	if victim.valid {
-		// Check for any invalid way first; LRU order keeps valid lines
-		// compact at the front only if we insert carefully, so scan.
-		inv := -1
-		for i := range ln {
-			if !ln[i].valid {
-				inv = i
-				break
-			}
-		}
-		if inv >= 0 {
-			copy(ln[1:inv+1], ln[:inv])
-		} else {
-			res.Evicted = victim.addr
-			res.Victim = true
-			c.stats.Evictions++
-			copy(ln[1:], ln[:c.ways-1])
-		}
-	} else {
-		copy(ln[1:], ln[:c.ways-1])
+	if victim := ln[c.ways-1]; victim != 0 {
+		res.Evicted = victim &^ lineValid
+		res.Victim = true
+		c.stats.Evictions++
 	}
-	ln[0] = line{addr: addr, valid: true}
+	copy(ln[1:], ln[:c.ways-1])
+	ln[0] = tag
 	return res
 }
 
@@ -170,9 +176,10 @@ func (c *Cache) Access(addr uint64) AccessResult {
 // simulator's coherence checks use it.
 func (c *Cache) Contains(addr uint64) bool {
 	addr &^= trace.BlockSize - 1
+	tag := addr | lineValid
 	set := c.setIndex(addr) * c.ways
 	for _, l := range c.lines[set : set+c.ways] {
-		if l.valid && l.addr == addr {
+		if l == tag {
 			return true
 		}
 	}
@@ -183,13 +190,14 @@ func (c *Cache) Contains(addr uint64) bool {
 // it was. Used for write-invalidate coherence between private L1-D caches.
 func (c *Cache) Invalidate(addr uint64) bool {
 	addr &^= trace.BlockSize - 1
+	tag := addr | lineValid
 	set := c.setIndex(addr) * c.ways
 	ln := c.lines[set : set+c.ways]
 	for i := range ln {
-		if ln[i].valid && ln[i].addr == addr {
+		if ln[i] == tag {
 			// Shift the remainder up and park the invalid line at LRU.
 			copy(ln[i:], ln[i+1:])
-			ln[c.ways-1] = line{}
+			ln[c.ways-1] = 0
 			return true
 		}
 	}
@@ -199,16 +207,14 @@ func (c *Cache) Invalidate(addr uint64) bool {
 // Flush invalidates the whole cache — Algorithm 1 "empties the L1-I cache"
 // at transaction/operation boundaries and after every eviction.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = line{}
-	}
+	clear(c.lines)
 }
 
 // Resident returns the number of valid blocks.
 func (c *Cache) Resident() int {
 	n := 0
 	for _, l := range c.lines {
-		if l.valid {
+		if l != 0 {
 			n++
 		}
 	}
@@ -219,8 +225,8 @@ func (c *Cache) Resident() int {
 // returns it. Diagnostic/analysis use only (it allocates).
 func (c *Cache) ResidentBlocks(dst []uint64) []uint64 {
 	for _, l := range c.lines {
-		if l.valid {
-			dst = append(dst, l.addr)
+		if l != 0 {
+			dst = append(dst, l&^lineValid)
 		}
 	}
 	return dst

@@ -20,6 +20,12 @@ func NewTracker(asg *TxnAssignment) *Tracker {
 	return &Tracker{asg: asg}
 }
 
+// MakeTracker is NewTracker by value, for callers that keep trackers in a
+// preallocated slice (the zero-alloc replay path).
+func MakeTracker(asg *TxnAssignment) Tracker {
+	return Tracker{asg: asg}
+}
+
 // Next consumes one event and returns the migration point crossed, if any.
 // The returned pointer aliases the assignment (treat as read-only).
 func (tk *Tracker) Next(ev trace.Event) (*PointAssignment, bool) {

@@ -17,7 +17,15 @@ type addictHooks struct {
 	asg   *core.Assignment
 	ex    *sim.Executor
 
-	trackers map[int]*core.Tracker
+	// trackers/tracked are per-thread, indexed by thread ID and
+	// preallocated in bind (the replay loop must not allocate); tracked is
+	// false for fallback-scheduled types.
+	trackers []core.Tracker
+	tracked  []bool
+	// pending holds a migration-point crossing RunWindow discovered but
+	// did not commit past: the tracker has already consumed the event, so
+	// Act picks the decision up here instead of consuming it again.
+	pending []pendingCross
 	// pointCores is the runtime (mutable) core set per migration point;
 	// stealing reassigns cores between points ("if there are any idle
 	// cores that belong to another migration point, ADDICT reassigns one
@@ -30,6 +38,13 @@ type addictHooks struct {
 	fallback *baselineHooks
 	// static disables replicas and stealing (ablation).
 	static bool
+}
+
+// pendingCross is one tracker crossing awaiting its Act call.
+type pendingCross struct {
+	pos int
+	pt  *core.PointAssignment
+	ok  bool
 }
 
 func newAddictHooks(cfg Config) *addictHooks {
@@ -61,7 +76,6 @@ func newAddictHooks(cfg Config) *addictHooks {
 		cores:      cores,
 		asg:        asg,
 		static:     cfg.DisableReplication,
-		trackers:   make(map[int]*core.Tracker),
 		pointCores: make(map[*core.PointAssignment][]int),
 		coreOwner:  make(map[int]*core.PointAssignment),
 		served:     make(map[*core.PointAssignment]map[int]bool),
@@ -69,7 +83,13 @@ func newAddictHooks(cfg Config) *addictHooks {
 	}
 }
 
-func (a *addictHooks) bind(ex *sim.Executor) { a.ex = ex }
+func (a *addictHooks) bind(ex *sim.Executor) {
+	a.ex = ex
+	n := len(ex.Threads())
+	a.trackers = make([]core.Tracker, n)
+	a.tracked = make([]bool, n)
+	a.pending = make([]pendingCross, n)
+}
 
 func (a *addictHooks) txnAsg(t *sim.Thread) *core.TxnAssignment {
 	return a.asg.PerTxn[t.Trace.Type]
@@ -82,18 +102,27 @@ func (a *addictHooks) Place(t *sim.Thread) int {
 	if ta == nil || ta.Fallback {
 		return a.fallback.Place(t)
 	}
-	a.trackers[t.ID] = core.NewTracker(ta)
+	a.trackers[t.ID] = core.MakeTracker(ta)
+	a.tracked[t.ID] = true
 	return ta.Entry.Cores[0]
 }
 
 // Act implements sim.Hooks: consult the tracker; on a crossed point, pick
-// the destination core.
+// the destination core. A crossing RunWindow already discovered (and whose
+// event the tracker therefore already consumed) is picked up from pending;
+// the executor guarantees Act is next consulted exactly at that event.
 func (a *addictHooks) Act(t *sim.Thread, ev trace.Event) sim.Action {
-	tk, ok := a.trackers[t.ID]
-	if !ok {
+	if !a.tracked[t.ID] {
 		return sim.Run // fallback-scheduled type
 	}
-	pt, crossed := tk.Next(ev)
+	var pt *core.PointAssignment
+	var crossed bool
+	if p := &a.pending[t.ID]; p.ok && p.pos == t.Pos() {
+		pt, crossed = p.pt, true
+		p.ok = false
+	} else {
+		pt, crossed = a.trackers[t.ID].Next(ev)
+	}
 	if !crossed {
 		return sim.Run
 	}
@@ -104,14 +133,49 @@ func (a *addictHooks) Act(t *sim.Thread, ev trace.Event) sim.Action {
 	return sim.MigrateTo(dest)
 }
 
+// RunWindow implements sim.BatchHooks: the tracker is a deterministic
+// automaton over the thread's own events, so it can be advanced ahead of
+// execution — every event up to (excluding) the next migration-point
+// crossing is guaranteed ActRun. The crossing itself is parked in pending
+// for Act; core selection must wait until then because it reads live
+// queue/occupancy state.
+func (a *addictHooks) RunWindow(t *sim.Thread, evs []trace.Event) int {
+	if !a.tracked[t.ID] {
+		return len(evs) // fallback-scheduled type: Act never acts
+	}
+	p := &a.pending[t.ID]
+	if p.ok {
+		return 0 // a crossing is already waiting for its Act call
+	}
+	tk := &a.trackers[t.ID]
+	pos := t.Pos()
+	for i, ev := range evs {
+		if pt, crossed := tk.Next(ev); crossed {
+			*p = pendingCross{pos: pos + i, pt: pt, ok: true}
+			return i
+		}
+	}
+	return len(evs)
+}
+
+// ObserveBatch implements sim.BatchHooks: nothing to do — the tracker
+// already advanced in RunWindow and ADDICT takes no outcome feedback.
+func (a *addictHooks) ObserveBatch(*sim.Thread, []trace.Event, []sim.AccessOutcome) {}
+
+var _ sim.BatchHooks = (*addictHooks)(nil)
+
 // chooseCore applies the dynamic core-selection policy for a migration
 // point.
 func (a *addictHooks) chooseCore(t *sim.Thread, pt *core.PointAssignment) int {
 	set := a.pointCores[pt]
 	if set == nil {
-		set = append([]int(nil), pt.Cores...)
+		// Capacity `cores` up front: stealing can grow a point's set to at
+		// most every core, and a full-capacity start keeps the steal path
+		// allocation-free for the rest of the run.
+		set = make([]int, len(pt.Cores), a.cores)
+		copy(set, pt.Cores)
 		a.pointCores[pt] = set
-		a.served[pt] = make(map[int]bool, len(set))
+		a.served[pt] = make(map[int]bool, a.cores)
 		for _, c := range set {
 			if a.coreOwner[c] == nil {
 				a.coreOwner[c] = pt

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"testing"
+
+	"addict/internal/core"
+	"addict/internal/sim"
+	"addict/internal/trace"
+	"addict/internal/workload"
+)
+
+// equivSetup builds a small but structurally rich replay input: enough
+// threads to contend for cores, several transaction types, and a real
+// migration-point profile for ADDICT.
+func equivSetup(t testing.TB) (Config, *trace.Set) {
+	t.Helper()
+	w := workload.NewTPCC(7, 0.05)
+	profSet := workload.GenerateSet(w, 60)
+	evalSet := workload.GenerateSet(w, 60)
+	cfg := DefaultConfig(sim.Shallow())
+	cfg.Profile = core.FindMigrationPoints(profSet, core.ProfileConfig{L1I: cfg.Machine.L1I})
+	return cfg, evalSet
+}
+
+// TestBatchDispatchMatchesPerEvent replays every mechanism twice — once on
+// the per-event reference path (NoBatch) and once with batch dispatch —
+// and requires identical results down to every machine counter. This is
+// the executable form of the BatchHooks contract: window commitment is an
+// optimization, never a behavior change.
+func TestBatchDispatchMatchesPerEvent(t *testing.T) {
+	cfg, evalSet := equivSetup(t)
+	for _, mech := range Mechanisms {
+		mech := mech
+		t.Run(string(mech), func(t *testing.T) {
+			ref := runWithDispatch(t, mech, evalSet, cfg, true)
+			got := runWithDispatch(t, mech, evalSet, cfg, false)
+			compareResults(t, ref, got)
+		})
+	}
+}
+
+func runWithDispatch(t *testing.T, mech Mechanism, s *trace.Set, cfg Config, noBatch bool) sim.Result {
+	t.Helper()
+	ex, err := newRun(mech, s, cfg)
+	if err != nil {
+		t.Fatalf("newRun(%s): %v", mech, err)
+	}
+	ex.NoBatch = noBatch
+	return ex.Run()
+}
+
+// compareResults asserts two runs are observationally identical: the
+// run-level aggregates, the per-core activity, and every machine counter.
+func compareResults(t *testing.T, ref, got sim.Result) {
+	t.Helper()
+	if ref.Makespan != got.Makespan {
+		t.Errorf("Makespan: per-event %d, batch %d", ref.Makespan, got.Makespan)
+	}
+	if ref.TotalLatency != got.TotalLatency {
+		t.Errorf("TotalLatency: per-event %d, batch %d", ref.TotalLatency, got.TotalLatency)
+	}
+	if ref.Threads != got.Threads {
+		t.Errorf("Threads: per-event %d, batch %d", ref.Threads, got.Threads)
+	}
+	if ref.Migrations != got.Migrations {
+		t.Errorf("Migrations: per-event %d, batch %d", ref.Migrations, got.Migrations)
+	}
+	if ref.ContextSwitches != got.ContextSwitches {
+		t.Errorf("ContextSwitches: per-event %d, batch %d", ref.ContextSwitches, got.ContextSwitches)
+	}
+	if ref.OverheadCycles != got.OverheadCycles {
+		t.Errorf("OverheadCycles: per-event %d, batch %d", ref.OverheadCycles, got.OverheadCycles)
+	}
+	for i := range ref.CoreActive {
+		if ref.CoreActive[i] != got.CoreActive[i] {
+			t.Errorf("CoreActive[%d]: per-event %d, batch %d", i, ref.CoreActive[i], got.CoreActive[i])
+		}
+	}
+	rm, gm := ref.Machine, got.Machine
+	if rm.Instructions != gm.Instructions {
+		t.Errorf("Instructions: per-event %d, batch %d", rm.Instructions, gm.Instructions)
+	}
+	if rm.L1IMisses != gm.L1IMisses {
+		t.Errorf("L1IMisses: per-event %d, batch %d", rm.L1IMisses, gm.L1IMisses)
+	}
+	if rm.L1DMisses != gm.L1DMisses {
+		t.Errorf("L1DMisses: per-event %d, batch %d", rm.L1DMisses, gm.L1DMisses)
+	}
+	if rm.SharedMisses != gm.SharedMisses {
+		t.Errorf("SharedMisses: per-event %d, batch %d", rm.SharedMisses, gm.SharedMisses)
+	}
+	if rm.SharedHits != gm.SharedHits {
+		t.Errorf("SharedHits: per-event %d, batch %d", rm.SharedHits, gm.SharedHits)
+	}
+	if rm.NoCHops != gm.NoCHops {
+		t.Errorf("NoCHops: per-event %d, batch %d", rm.NoCHops, gm.NoCHops)
+	}
+	if rm.Invalidation != gm.Invalidation {
+		t.Errorf("Invalidation: per-event %d, batch %d", rm.Invalidation, gm.Invalidation)
+	}
+	ri, rd, rs := rm.CacheStats()
+	gi, gd, gs := gm.CacheStats()
+	if ri != gi || rd != gd || rs != gs {
+		t.Errorf("cache stats: per-event %v/%v/%v, batch %v/%v/%v", ri, rd, rs, gi, gd, gs)
+	}
+}

@@ -85,6 +85,17 @@ func (c Config) batchSize() int {
 // Run replays a trace set under the given mechanism and returns the
 // simulation result.
 func Run(mech Mechanism, s *trace.Set, cfg Config) (sim.Result, error) {
+	ex, err := newRun(mech, s, cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return ex.Run(), nil
+}
+
+// newRun wires the mechanism's hooks, batching, and admission policy into
+// a ready-to-run executor. Split from Run so the batch/per-event
+// equivalence tests can flip sim.Executor.NoBatch before running.
+func newRun(mech Mechanism, s *trace.Set, cfg Config) (*sim.Executor, error) {
 	m := sim.NewMachine(cfg.Machine)
 	// admit applies the explicit admission cap, if any, over a mechanism's
 	// default in-flight bound.
@@ -101,14 +112,14 @@ func Run(mech Mechanism, s *trace.Set, cfg Config) (sim.Result, error) {
 		// An explicit batch size models server load for Baseline too
 		// (Figure 7 compares mechanisms at equal concurrency).
 		ex.AdmitLimit = admit(cfg.BatchSize)
-		return ex.Run(), nil
+		return ex, nil
 	case STREX:
 		ordered := batchByType(s.Traces, cfg.batchSize())
 		hooks := newStrexHooks(cfg)
 		ex := sim.NewExecutor(m, hooks, ordered)
 		ex.AdmitLimit = admit(0)
 		applyBatches(ex, ordered, cfg.batchSize())
-		return ex.Run(), nil
+		return ex, nil
 	case SLICC:
 		ordered := batchByType(s.Traces, cfg.batchSize())
 		hooks := newSliccHooks(cfg)
@@ -117,10 +128,10 @@ func Run(mech Mechanism, s *trace.Set, cfg Config) (sim.Result, error) {
 		ex.BatchBarrier = cfg.BatchBarrier
 		applyBatches(ex, ordered, cfg.batchSize())
 		hooks.bind(ex)
-		return ex.Run(), nil
+		return ex, nil
 	case ADDICT:
 		if cfg.Profile == nil {
-			return sim.Result{}, fmt.Errorf("sched: ADDICT requires a migration-point profile")
+			return nil, fmt.Errorf("sched: ADDICT requires a migration-point profile")
 		}
 		ordered := batchByType(s.Traces, cfg.batchSize())
 		hooks := newAddictHooks(cfg)
@@ -129,9 +140,9 @@ func Run(mech Mechanism, s *trace.Set, cfg Config) (sim.Result, error) {
 		ex.BatchBarrier = cfg.BatchBarrier
 		applyBatches(ex, ordered, cfg.batchSize())
 		hooks.bind(ex)
-		return ex.Run(), nil
+		return ex, nil
 	default:
-		return sim.Result{}, fmt.Errorf("sched: unknown mechanism %q", mech)
+		return nil, fmt.Errorf("sched: unknown mechanism %q", mech)
 	}
 }
 
@@ -206,3 +217,13 @@ func (b *baselineHooks) Act(*sim.Thread, trace.Event) sim.Action { return sim.Ru
 
 // Observe implements sim.Hooks.
 func (b *baselineHooks) Observe(*sim.Thread, trace.Event, sim.AccessOutcome) {}
+
+// RunWindow implements sim.BatchHooks: Baseline never acts, so every
+// offered event is committed — the whole replay runs without a single
+// per-event scheduler call.
+func (b *baselineHooks) RunWindow(t *sim.Thread, evs []trace.Event) int { return len(evs) }
+
+// ObserveBatch implements sim.BatchHooks (nothing to observe).
+func (b *baselineHooks) ObserveBatch(*sim.Thread, []trace.Event, []sim.AccessOutcome) {}
+
+var _ sim.BatchHooks = (*baselineHooks)(nil)

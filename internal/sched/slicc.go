@@ -22,11 +22,17 @@ type sliccHooks struct {
 	cooldown      int
 
 	ex *sim.Executor
-	st map[int]*sliccState
+	// st is per-thread state, indexed by thread ID (preallocated in bind —
+	// the replay loop must not allocate).
+	st []sliccState
 	// rrPreferred rotates the idle-core preference for newly faulted
 	// segments. It is global: every thread agrees on where the next fresh
 	// segment goes, so followers find the leader's segment homes.
 	rrPreferred int
+	// segSeen/segBuf are reusable scratch for upcomingBlocks, so the
+	// migration-decision path allocates nothing in steady state.
+	segSeen map[uint64]struct{}
+	segBuf  []uint64
 }
 
 type sliccState struct {
@@ -42,11 +48,15 @@ func newSliccHooks(cfg Config) *sliccHooks {
 		window:        cfg.SLICCWindow,
 		missThreshold: cfg.SLICCMissThreshold,
 		cooldown:      cfg.SLICCCooldown,
-		st:            make(map[int]*sliccState),
+		segSeen:       make(map[uint64]struct{}, segmentLookahead),
+		segBuf:        make([]uint64, 0, segmentLookahead),
 	}
 }
 
-func (s *sliccHooks) bind(ex *sim.Executor) { s.ex = ex }
+func (s *sliccHooks) bind(ex *sim.Executor) {
+	s.ex = ex
+	s.st = make([]sliccState, len(ex.Threads()))
+}
 
 // Place implements sim.Hooks: a batch's threads all start on the same core
 // and follow the leader through the segment homes it faults in — SLICC's
@@ -55,14 +65,7 @@ func (s *sliccHooks) bind(ex *sim.Executor) { s.ex = ex }
 // already brought into cache(s) by the initial thread", Section 5.2).
 func (s *sliccHooks) Place(t *sim.Thread) int { return t.Batch % s.cores }
 
-func (s *sliccHooks) state(id int) *sliccState {
-	st, ok := s.st[id]
-	if !ok {
-		st = &sliccState{}
-		s.st[id] = st
-	}
-	return st
-}
+func (s *sliccHooks) state(id int) *sliccState { return &s.st[id] }
 
 // segmentLookahead is the number of distinct upcoming blocks scored when
 // choosing a migration target — the replay-time stand-in for SLICC's
@@ -91,11 +94,13 @@ func (s *sliccHooks) Act(t *sim.Thread, ev trace.Event) sim.Action {
 }
 
 // upcomingBlocks collects the next n distinct instruction blocks of the
-// thread's stream.
+// thread's stream into the reusable segment scratch (the returned slice is
+// valid until the next call).
 func (s *sliccHooks) upcomingBlocks(t *sim.Thread, n int) []uint64 {
 	events := t.Trace.Events
-	seen := make(map[uint64]struct{}, n)
-	out := make([]uint64, 0, n)
+	clear(s.segSeen)
+	seen := s.segSeen
+	out := s.segBuf[:0]
 	for i := t.Pos(); i < len(events) && len(out) < n; i++ {
 		if events[i].Kind != trace.KindInstr {
 			continue
@@ -187,3 +192,55 @@ func (s *sliccHooks) Observe(t *sim.Thread, ev trace.Event, out sim.AccessOutcom
 		st.misses = 0
 	}
 }
+
+// RunWindow implements sim.BatchHooks. Act migrates only at an instruction
+// fetch whose miss burst satisfies all three detector conditions; two of
+// them — the fetch-count window and the cooldown — evolve independently of
+// outcomes, so their trajectories can be replayed in advance: a fetch is
+// guaranteed ActRun whenever the window is not yet full or the cooldown
+// has not expired. Commitment stops at the first fetch where both are
+// satisfiable and the (unknowable) miss count gets a say.
+func (s *sliccHooks) RunWindow(t *sim.Thread, evs []trace.Event) int {
+	st := s.state(t.ID)
+	f := st.fetches
+	sm := st.sinceMove
+	for i, ev := range evs {
+		if ev.Kind == trace.KindInstr {
+			sm++
+			if f >= s.window && sm >= s.cooldown {
+				return i
+			}
+			// Replay Observe's deterministic part of the counter
+			// evolution (the reset fires on fetch count alone).
+			f++
+			if f > s.window {
+				f = 0
+			}
+		}
+	}
+	return len(evs)
+}
+
+// ObserveBatch implements sim.BatchHooks: replay Act's bookkeeping (the
+// cooldown advance — Act was never called for committed events) plus the
+// per-event Observe, in order, so the detector state is exactly what the
+// per-event path would have left.
+func (s *sliccHooks) ObserveBatch(t *sim.Thread, evs []trace.Event, outs []sim.AccessOutcome) {
+	st := s.state(t.ID)
+	for i, ev := range evs {
+		if ev.Kind != trace.KindInstr {
+			continue
+		}
+		st.sinceMove++
+		st.fetches++
+		if outs[i].L1Miss {
+			st.misses++
+		}
+		if st.fetches > s.window {
+			st.fetches = 0
+			st.misses = 0
+		}
+	}
+}
+
+var _ sim.BatchHooks = (*sliccHooks)(nil)

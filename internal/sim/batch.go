@@ -1,0 +1,53 @@
+package sim
+
+import "addict/internal/trace"
+
+// maxWindow caps the event slice offered to BatchHooks.RunWindow — long
+// enough to amortize the per-window hook call over many events, short
+// enough that the preallocated outcome buffer stays cache-resident.
+const maxWindow = 128
+
+// BatchHooks is the batch-dispatch extension of Hooks. A mechanism that
+// implements it is consulted once per event *window* instead of once per
+// event: the executor offers the thread's upcoming events and the
+// mechanism commits to a prefix it will run without any scheduling action,
+// eliminating the per-event Act/Observe interface calls on the hot path.
+// Replay results are byte-identical to the per-event path (Executor.NoBatch
+// forces the latter; the equivalence is locked by tests in internal/sched).
+//
+// The contract, which makes that equivalence hold:
+//
+//   - RunWindow(t, evs) returns n, the length of the prefix of evs for
+//     which the mechanism guarantees Act would return the Run action —
+//     regardless of the events' outcomes, which are not yet known. The
+//     guarantee must hold under the worst-case outcome of every committed
+//     event (e.g. STREX commits only as many instruction fetches as could
+//     all evict without reaching its switch threshold). n = 0 falls back
+//     to a per-event Act call for the next event.
+//
+//   - The executor executes committed events without calling Act, possibly
+//     in several chunks: other threads' events interleave at the global
+//     (time, ID) order exactly as they would have with per-event dispatch,
+//     and a preempted thread resumes its remaining commitment later —
+//     RunWindow is not asked again until the commitment is exhausted.
+//     Decisions must therefore depend only on state that other threads
+//     cannot change: the thread's own events plus mechanism state local to
+//     the thread or its core (a thread occupies its core for the whole
+//     commitment, so per-core monitors are safe).
+//
+//   - ObserveBatch(t, evs, outs) reports each chunk, in order, right after
+//     its last event executes and before any other hook call. It must
+//     leave the mechanism's state exactly as the per-event Act+Observe
+//     sequence would have (for counters Act maintains — like SLICC's
+//     cooldown — ObserveBatch replays Act's bookkeeping too, since Act was
+//     never called). The evs/outs slices alias executor-owned buffers and
+//     must not be retained.
+type BatchHooks interface {
+	Hooks
+	// RunWindow returns how many leading events of evs the mechanism
+	// commits to run on t's current core without a scheduling action.
+	RunWindow(t *Thread, evs []trace.Event) int
+	// ObserveBatch reports the outcomes of one executed chunk of committed
+	// events.
+	ObserveBatch(t *Thread, evs []trace.Event, outs []AccessOutcome)
+}

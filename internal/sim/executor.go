@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"addict/internal/trace"
@@ -13,6 +12,16 @@ import (
 // the same structure as the paper's evaluation, where Baseline, STREX,
 // SLICC, and ADDICT are all "implemented on the Zesto simulator"
 // (Section 4.1).
+//
+// The engine is written for zero steady-state allocation and minimal
+// per-event dispatch: all per-thread and per-core state is preallocated in
+// NewExecutor, the ready set is a hand-rolled binary heap of thread
+// pointers (no interface boxing, comparisons inline), a running thread
+// keeps executing without any heap traffic while it remains earliest in
+// the (time, ID) order, and mechanisms implementing BatchHooks commit
+// whole event windows so the per-event Act/Observe interface calls vanish
+// from the hot path. All of this is observationally equivalent to the
+// one-event-at-a-time engine (NoBatch replays that behavior exactly).
 
 // ActionKind is a scheduler directive for the next event of a thread.
 type ActionKind uint8
@@ -81,6 +90,9 @@ type Thread struct {
 	// set after a migration so each event gets exactly one migration
 	// decision (re-asking after arrival could ping-pong forever).
 	forceRun bool
+	// committed counts upcoming events the mechanism has batch-committed
+	// to plain execution (BatchHooks.RunWindow); they run without Act.
+	committed int
 }
 
 type threadState uint8
@@ -152,11 +164,45 @@ func (r Result) OverheadShare() float64 {
 	return float64(r.OverheadCycles) / float64(busy)
 }
 
+// coreState tracks one core: its occupant and a FIFO wait queue stored as
+// a ring over a preallocated slice (head advances on promote; the live
+// region is queue[head:]). The queue never allocates after NewExecutor —
+// its capacity is the thread count, the upper bound on waiters anywhere.
 type coreState struct {
 	occupant int // thread ID, -1 when free
 	queue    []int
+	head     int
 	freeAt   uint64
 	active   uint64
+}
+
+// qlen is the number of waiting threads.
+func (c *coreState) qlen() int { return len(c.queue) - c.head }
+
+// compact reclaims the dead head region so an append stays in capacity.
+func (c *coreState) compact() {
+	n := copy(c.queue, c.queue[c.head:])
+	c.queue = c.queue[:n]
+	c.head = 0
+}
+
+// push appends a waiter.
+func (c *coreState) push(id int) {
+	if len(c.queue) == cap(c.queue) && c.head > 0 {
+		c.compact()
+	}
+	c.queue = append(c.queue, id)
+}
+
+// popFront removes and returns the head waiter.
+func (c *coreState) popFront() int {
+	id := c.queue[c.head]
+	c.head++
+	if c.head == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.head = 0
+	}
+	return id
 }
 
 // Executor drives a set of threads over a machine under a scheduling
@@ -177,10 +223,18 @@ type Executor struct {
 	// transactions from the previous batch might prefetch the instructions
 	// needed for current batch" (Section 4.5). Overrides AdmitLimit.
 	BatchBarrier bool
+	// NoBatch forces per-event dispatch even when the mechanism implements
+	// BatchHooks. Results are identical either way (that equivalence is
+	// what the differential tests assert); the per-event path is the
+	// reference.
+	NoBatch bool
 
 	threads []*Thread
 	cores   []coreState
 	ready   threadHeap
+	batch   BatchHooks // hooks, when batch-capable and batching enabled
+	// outs is the preallocated outcome buffer for committed-window chunks.
+	outs [maxWindow]AccessOutcome
 
 	nextAdmit int
 	live      int
@@ -189,16 +243,23 @@ type Executor struct {
 	migrations, switches, overhead uint64
 }
 
-// NewExecutor prepares a run of the given traces.
+// NewExecutor prepares a run of the given traces. All per-thread and
+// per-core state is allocated here; the replay loop itself is
+// allocation-free.
 func NewExecutor(m *Machine, hooks Hooks, traces []*trace.Trace) *Executor {
 	ex := &Executor{M: m, hooks: hooks}
 	ex.cores = make([]coreState, m.Cfg.Cores)
 	for i := range ex.cores {
 		ex.cores[i].occupant = -1
+		ex.cores[i].queue = make([]int, 0, len(traces))
 	}
+	store := make([]Thread, len(traces))
+	ex.threads = make([]*Thread, len(traces))
 	for i, tr := range traces {
-		ex.threads = append(ex.threads, &Thread{ID: i, Trace: tr, Core: -1})
+		store[i] = Thread{ID: i, Trace: tr, Core: -1}
+		ex.threads[i] = &store[i]
 	}
+	ex.ready.s = make([]*Thread, 0, len(traces))
 	return ex
 }
 
@@ -207,15 +268,20 @@ func (ex *Executor) Threads() []*Thread { return ex.threads }
 
 // Run executes all threads to completion and returns the result.
 func (ex *Executor) Run() Result {
+	ex.batch = nil
+	if !ex.NoBatch {
+		if b, ok := ex.hooks.(BatchHooks); ok {
+			ex.batch = b
+		}
+	}
 	// Admission: threads join their placement core's queue in thread order
 	// (which schedulers control by batching), up to AdmitLimit in flight.
 	ex.admit()
-	for ex.ready.Len() > 0 {
-		t := heap.Pop(&ex.ready).(*Thread)
-		if t.time > ex.clock {
-			ex.clock = t.time
+	for ex.ready.len() > 0 {
+		t := ex.ready.pop()
+		for t != nil {
+			t = ex.runThread(t)
 		}
-		ex.step(t)
 	}
 	res := Result{
 		Machine:         ex.M,
@@ -241,40 +307,132 @@ func (ex *Executor) Run() Result {
 	return res
 }
 
-// step processes one event of a running thread.
-func (ex *Executor) step(t *Thread) {
-	if t.pos >= len(t.Trace.Events) {
-		ex.finish(t)
-		return
-	}
-	ev := t.Trace.Events[t.pos]
-	act := Run
-	if t.forceRun {
-		t.forceRun = false
-	} else {
-		act = ex.hooks.Act(t, ev)
-	}
-	switch act.Kind {
-	case ActMigrate:
-		if act.Dest != t.Core {
-			ex.migrate(t, act.Dest)
-			return
+// runThread executes t's events until the thread finishes, blocks
+// (migration or yield), or another ready thread becomes earlier in the
+// (time, ID) order. In the last case t swaps places with the heap minimum
+// and the new earliest thread is returned — one sift instead of a
+// push+pop, and no heap traffic at all while t stays earliest. Each loop
+// iteration corresponds exactly to one pop of the one-event-at-a-time
+// engine, so the event interleaving (and therefore every simulated
+// counter) is identical.
+func (ex *Executor) runThread(t *Thread) *Thread {
+	events := t.Trace.Events
+	for {
+		if t.time > ex.clock {
+			ex.clock = t.time
 		}
-		fallthrough // migrating to the current core is just running
-	case ActRun:
-		out := ex.M.Exec(t.Core, ev)
+		if t.pos >= len(events) {
+			ex.finish(t)
+			return nil
+		}
+		if t.committed > 0 {
+			if ex.execCommitted(t) {
+				return ex.ready.swapRoot(t)
+			}
+			continue
+		}
+		if t.forceRun {
+			t.forceRun = false
+			if ex.execOne(t, events[t.pos]) {
+				return ex.ready.swapRoot(t)
+			}
+			continue
+		}
+		if ex.batch != nil {
+			win := events[t.pos:]
+			if len(win) > maxWindow {
+				win = win[:maxWindow]
+			}
+			if n := ex.batch.RunWindow(t, win); n > 0 {
+				if n > len(win) {
+					n = len(win)
+				}
+				t.committed = n
+				if ex.execCommitted(t) {
+					return ex.ready.swapRoot(t)
+				}
+				continue
+			}
+		}
+		ev := events[t.pos]
+		act := ex.hooks.Act(t, ev)
+		switch act.Kind {
+		case ActMigrate:
+			if act.Dest != t.Core {
+				ex.migrate(t, act.Dest)
+				return nil
+			}
+			fallthrough // migrating to the current core is just running
+		case ActRun:
+			if ex.execOne(t, ev) {
+				return ex.ready.swapRoot(t)
+			}
+		case ActYield:
+			if ex.yield(t) {
+				return nil
+			}
+			// No same-batch waiter: the thread keeps the core and the
+			// scheduler is asked again (it has just reset its monitor).
+		}
+	}
+}
+
+// execOne executes one event with a per-event Observe and reports whether
+// t lost its earliest position.
+func (ex *Executor) execOne(t *Thread, ev trace.Event) (preempted bool) {
+	out := ex.M.Exec(t.Core, ev)
+	if !t.started && ev.IsMemory() {
+		t.started = true
+		t.startTime = t.time
+	}
+	t.time += out.Cycles
+	ex.cores[t.Core].active += out.Cycles
+	t.pos++
+	ex.hooks.Observe(t, ev, out)
+	return len(ex.ready.s) > 0 && before(ex.ready.s[0], t)
+}
+
+// execCommitted executes as much of t's batch commitment as the global
+// (time, ID) order allows — no Act calls, outcomes reported through one
+// ObserveBatch per chunk — and reports whether t was preempted. The heap
+// cannot change while the chunk runs (executing events touches only the
+// machine, the thread, and its core's cycle counter), so the preemption
+// bound is two registers, not a heap probe per event.
+func (ex *Executor) execCommitted(t *Thread) (preempted bool) {
+	n := t.committed
+	evs := t.Trace.Events[t.pos : t.pos+n]
+	limTime := ^uint64(0)
+	limWins := false // at equal time, does the ready head precede t?
+	if len(ex.ready.s) > 0 {
+		top := ex.ready.s[0]
+		limTime = top.time
+		limWins = top.ID < t.ID
+	}
+	m := ex.M
+	core := t.Core
+	var cycles uint64
+	k := 0
+	for k < n {
+		ev := evs[k]
+		out := m.Exec(core, ev)
 		if !t.started && ev.IsMemory() {
 			t.started = true
 			t.startTime = t.time
 		}
 		t.time += out.Cycles
-		ex.cores[t.Core].active += out.Cycles
-		t.pos++
-		ex.hooks.Observe(t, ev, out)
-		heap.Push(&ex.ready, t)
-	case ActYield:
-		ex.yield(t)
+		cycles += out.Cycles
+		ex.outs[k] = out
+		k++
+		if t.time > limTime || (t.time == limTime && limWins) {
+			preempted = true
+			break
+		}
 	}
+	ex.cores[core].active += cycles
+	t.pos += k
+	t.committed = n - k
+	ex.batch.ObserveBatch(t, evs[:k], ex.outs[:k])
+	return preempted
 }
 
 // admit places waiting threads until the in-flight bound is reached (or,
@@ -333,28 +491,33 @@ func (ex *Executor) migrate(t *Thread, dest int) {
 // yield rotates t behind the waiters of its own batch on the same core and
 // promotes the queue head — STREX's intra-batch time multiplexing. A thread
 // with no same-batch peers waiting keeps running (nothing to reuse its
-// cache contents), without a switch charged.
-func (ex *Executor) yield(t *Thread) {
-	core := &ex.cores[t.Core]
+// cache contents), without a switch charged; yield then returns false and
+// the thread keeps the core.
+func (ex *Executor) yield(t *Thread) bool {
+	c := &ex.cores[t.Core]
 	last := -1
-	for i, id := range core.queue {
-		if ex.threads[id].Batch == t.Batch {
+	for i := c.head; i < len(c.queue); i++ {
+		if ex.threads[c.queue[i]].Batch == t.Batch {
 			last = i
 		}
 	}
 	if last == -1 {
-		heap.Push(&ex.ready, t)
-		return
+		return false
 	}
 	ex.switches++
 	ex.overhead += ex.M.Cfg.ContextSwitchCycles
 	t.state = stateQueued
 	t.pendingCost = ex.M.Cfg.ContextSwitchCycles
-	core.queue = append(core.queue, 0)
-	copy(core.queue[last+2:], core.queue[last+1:])
-	core.queue[last+1] = t.ID
-	core.occupant = -1
+	if len(c.queue) == cap(c.queue) && c.head > 0 {
+		last -= c.head
+		c.compact()
+	}
+	c.queue = append(c.queue, 0)
+	copy(c.queue[last+2:], c.queue[last+1:])
+	c.queue[last+1] = t.ID
+	c.occupant = -1
 	ex.promote(t.Core, t.time)
+	return true
 }
 
 // enqueue adds t to a core's queue at time `now`, running it immediately if
@@ -362,7 +525,7 @@ func (ex *Executor) yield(t *Thread) {
 func (ex *Executor) enqueue(t *Thread, core int, now uint64) {
 	t.Core = core
 	c := &ex.cores[core]
-	if c.occupant == -1 && len(c.queue) == 0 {
+	if c.occupant == -1 && c.qlen() == 0 {
 		c.occupant = t.ID
 		if c.freeAt > t.time {
 			t.time = c.freeAt
@@ -373,11 +536,11 @@ func (ex *Executor) enqueue(t *Thread, core int, now uint64) {
 		t.time += t.pendingCost
 		t.pendingCost = 0
 		t.state = stateRunning
-		heap.Push(&ex.ready, t)
+		ex.ready.push(t)
 		return
 	}
 	t.state = stateQueued
-	c.queue = append(c.queue, t.ID)
+	c.push(t.ID)
 }
 
 // releaseCore frees a core at time `now` and promotes the next waiter.
@@ -393,11 +556,10 @@ func (ex *Executor) releaseCore(core int, now uint64) {
 // promote moves the head waiter (if any) onto the core.
 func (ex *Executor) promote(core int, now uint64) {
 	c := &ex.cores[core]
-	if c.occupant != -1 || len(c.queue) == 0 {
+	if c.occupant != -1 || c.qlen() == 0 {
 		return
 	}
-	id := c.queue[0]
-	c.queue = c.queue[1:]
+	id := c.popFront()
 	t := ex.threads[id]
 	c.occupant = id
 	if t.time < now {
@@ -409,33 +571,94 @@ func (ex *Executor) promote(core int, now uint64) {
 	t.time += t.pendingCost
 	t.pendingCost = 0
 	t.state = stateRunning
-	heap.Push(&ex.ready, t)
+	ex.ready.push(t)
 }
 
 // QueueLen reports a core's wait-queue length (scheduler load balancing).
-func (ex *Executor) QueueLen(core int) int { return len(ex.cores[core].queue) }
+func (ex *Executor) QueueLen(core int) int { return ex.cores[core].qlen() }
 
 // CoreFree reports whether a core is unoccupied with an empty queue.
 func (ex *Executor) CoreFree(core int) bool {
-	return ex.cores[core].occupant == -1 && len(ex.cores[core].queue) == 0
+	return ex.cores[core].occupant == -1 && ex.cores[core].qlen() == 0
 }
 
-// threadHeap orders runnable threads by (time, ID) for determinism.
-type threadHeap []*Thread
+// before is the executor's strict total order on threads: (time, ID)
+// lexicographic. IDs are unique, so ties cannot exist and any correct heap
+// pops the same sequence the container/heap engine did.
+func before(a, b *Thread) bool {
+	return a.time < b.time || (a.time == b.time && a.ID < b.ID)
+}
 
-func (h threadHeap) Len() int { return len(h) }
-func (h threadHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// threadHeap is a hand-rolled binary min-heap of runnable threads. It
+// exists (instead of container/heap) because the heap is the replay loop's
+// hottest structure: concrete element type and inlined comparisons remove
+// the interface dispatch of Less/Swap/Push/Pop, and swapRoot replaces the
+// push-then-pop round trip of a preempted thread with a single sift-down.
+type threadHeap struct {
+	s []*Thread
+}
+
+func (h *threadHeap) len() int { return len(h.s) }
+
+// push inserts t (hole-based sift-up: parents slide down, t is stored
+// once).
+func (h *threadHeap) push(t *Thread) {
+	h.s = append(h.s, t)
+	s := h.s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !before(t, s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
 	}
-	return h[i].ID < h[j].ID
+	s[i] = t
 }
-func (h threadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *threadHeap) Push(x interface{}) { *h = append(*h, x.(*Thread)) }
-func (h *threadHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	*h = old[:n-1]
+
+// pop removes and returns the earliest thread.
+func (h *threadHeap) pop() *Thread {
+	t := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s[last] = nil
+	h.s = h.s[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
 	return t
+}
+
+// swapRoot exchanges the earliest thread for t — equivalent to push(t)
+// followed by pop() when t is known not to be the earliest.
+func (h *threadHeap) swapRoot(t *Thread) *Thread {
+	r := h.s[0]
+	h.s[0] = t
+	h.siftDown(0)
+	return r
+}
+
+// siftDown restores the heap below i (hole-based: children slide up, the
+// displaced thread is stored once at its final slot).
+func (h *threadHeap) siftDown(i int) {
+	s := h.s
+	n := len(s)
+	t := s[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && before(s[r], s[l]) {
+			m = r
+		}
+		if !before(s[m], t) {
+			break
+		}
+		s[i] = s[m]
+		i = m
+	}
+	s[i] = t
 }

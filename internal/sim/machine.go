@@ -44,6 +44,11 @@ type Machine struct {
 
 	hops [][]uint64 // torus distance core → bank
 
+	// baseBlockCycles caches Cfg.BaseBlockCycles(): the method copies the
+	// whole Config and divides floats, which is far too expensive for a
+	// per-instruction-event constant.
+	baseBlockCycles uint64
+
 	// Counters.
 	Instructions uint64 // dynamic instructions (blocks × InstrPerBlock)
 	L1IMisses    uint64
@@ -62,7 +67,7 @@ func NewMachine(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Machine{Cfg: cfg, shared: cache.New(cfg.Shared)}
+	m := &Machine{Cfg: cfg, shared: cache.New(cfg.Shared), baseBlockCycles: cfg.BaseBlockCycles()}
 	for i := 0; i < cfg.Cores; i++ {
 		m.l1i = append(m.l1i, cache.New(cfg.L1I))
 		m.l1d = append(m.l1d, cache.New(cfg.L1D))
@@ -136,7 +141,7 @@ func (m *Machine) Exec(core int, ev trace.Event) AccessOutcome {
 
 func (m *Machine) execInstr(core int, addr uint64) AccessOutcome {
 	m.Instructions += trace.InstrPerBlock
-	out := AccessOutcome{ServedBy: ServedL1, Cycles: m.Cfg.BaseBlockCycles()}
+	out := AccessOutcome{ServedBy: ServedL1, Cycles: m.baseBlockCycles}
 	res := m.l1i[core].Access(addr)
 	if res.Hit {
 		return out

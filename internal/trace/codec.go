@@ -22,6 +22,14 @@ const (
 	codecVersion = 1
 )
 
+// maxPrealloc caps how many trace/event slots the decoder allocates ahead
+// of the stream actually delivering them. Counts are attacker-controlled
+// 32-bit fields; without the cap a 12-byte header could demand a
+// multi-gigabyte upfront allocation (found by FuzzEventCodec). Beyond the
+// cap the slices grow by append, so truncated streams fail with a read
+// error instead of an OOM.
+const maxPrealloc = 1 << 16
+
 // WriteSet serializes a trace set to w.
 func WriteSet(w io.Writer, s *Set) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -89,11 +97,15 @@ func ReadSet(r io.Reader) (*Set, error) {
 	if err := binary.Read(br, binary.LittleEndian, &nTraces); err != nil {
 		return nil, err
 	}
-	s.Traces = make([]*Trace, nTraces)
-	for i := range s.Traces {
-		if s.Traces[i], err = readTrace(br); err != nil {
+	// Cap compared as uint32: on 32-bit platforms int(nTraces) could
+	// overflow negative and panic the very make this cap protects.
+	s.Traces = make([]*Trace, 0, int(min(nTraces, maxPrealloc)))
+	for i := uint32(0); i < nTraces; i++ {
+		t, err := readTrace(br)
+		if err != nil {
 			return nil, fmt.Errorf("trace: reading trace %d: %w", i, err)
 		}
+		s.Traces = append(s.Traces, t)
 	}
 	return s, nil
 }
@@ -136,18 +148,18 @@ func readTrace(r io.Reader) (*Trace, error) {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
-	t.Events = make([]Event, n)
+	t.Events = make([]Event, 0, int(min(n, maxPrealloc)))
 	buf := make([]byte, 12)
-	for i := range t.Events {
+	for i := uint32(0); i < n; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
-		t.Events[i] = Event{
+		t.Events = append(t.Events, Event{
 			Kind: EventKind(buf[0]),
 			Op:   OpType(buf[1]),
 			Aux:  binary.LittleEndian.Uint16(buf[2:]),
 			Addr: binary.LittleEndian.Uint64(buf[4:]),
-		}
+		})
 	}
 	return t, nil
 }
