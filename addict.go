@@ -43,6 +43,19 @@
 // pipeline and the sweep pipeline share one execution path (the figure
 // runners are presets over sweep units); cmd/addict-sweep is the CLI.
 //
+// # Synthetic workloads
+//
+// Beyond the three TPC mixes, SynthBenchmark compiles a declarative
+// SynthSpec — table count/sizes, uniform/zipfian/hot-set key skew,
+// read/write mix, ops-per-transaction distribution, transaction-type count
+// with shared or private code paths, and multi-phase schedules that shift
+// skew and mix mid-trace — into an ordinary Workload over a generated
+// population. Synthetic workloads are addressable by encoded name
+// ("synth:<preset>[+z<theta>][+w<frac>][+h<keys>]", see
+// ParseSynthWorkload) in sweep grids, bench configs, and cmd/tracegen
+// -synth; generation is sharded and byte-identical for every worker count
+// (GenerateSynthTracesSharded), phase schedules included.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
 package addict
@@ -65,6 +78,7 @@ import (
 	"addict/internal/sweep"
 	"addict/internal/trace"
 	"addict/internal/workload"
+	"addict/internal/workload/synth"
 )
 
 // Workload is a populated benchmark that generates transaction traces.
@@ -153,9 +167,53 @@ func NewStorageManager() *StorageManager {
 }
 
 // NewCustomWorkload assembles a workload from transaction specs over a
-// populated storage manager.
-func NewCustomWorkload(name string, m *StorageManager, seed int64, specs []TxnSpec) *Workload {
+// populated storage manager. The specs are validated: an empty list, a
+// missing Run, a duplicate name, a negative weight, or an all-zero weight
+// total is an error.
+func NewCustomWorkload(name string, m *StorageManager, seed int64, specs []TxnSpec) (*Workload, error) {
 	return workload.NewCustom(name, m, seed, specs)
+}
+
+// SynthSpec declares a synthetic workload: table count and sizes, key-skew
+// distribution (uniform/zipfian/hot-set), read/write mix, ops-per-
+// transaction distribution, transaction-type count with shared or private
+// code paths, and multi-phase schedules that shift skew and mix mid-trace.
+// The zero value of every field selects a documented default; see
+// internal/workload/synth.
+type SynthSpec = synth.Spec
+
+// SynthSkew declares a key-skew distribution within a SynthSpec.
+type SynthSkew = synth.Skew
+
+// SynthPhase is one window of a SynthSpec's cyclic phase schedule.
+type SynthPhase = synth.Phase
+
+// SynthPresets lists the shipped synthetic-workload preset names, sorted
+// ("hotset-write", "long-txn", "phase-shift", "uniform-ro", "zipf-hot-rw").
+func SynthPresets() []string { return synth.Presets() }
+
+// ParseSynthWorkload resolves an encoded synthetic workload name —
+// "synth:<preset>" with optional "+z<theta>"/"+w<frac>"/"+h<keys>"
+// overrides, or a bare preset name — into its spec. These names are
+// accepted wherever workloads travel by name: sweep grids (SweepSpec),
+// bench configs (BenchConfig.Workloads), and cmd/tracegen -synth.
+func ParseSynthWorkload(name string) (SynthSpec, error) { return synth.ParseName(name) }
+
+// SynthBenchmark compiles a synthetic-workload spec into a populated
+// benchmark, deterministic in (spec, seed, scale) — the synthetic
+// counterpart of NewTPCB/NewTPCC/NewTPCE.
+func SynthBenchmark(spec SynthSpec, seed int64, scale float64) (*Workload, error) {
+	return synth.New(spec, seed, scale)
+}
+
+// GenerateSynthTracesSharded generates n traces of a synthetic workload as
+// independent warm-started shards on up to `workers` goroutines (workers
+// < 1 selects runtime.GOMAXPROCS(0)). The result is byte-identical for
+// every worker count — the same contract as GenerateTracesSharded, with
+// phase schedules following the absolute trace index so multi-phase specs
+// shard deterministically too.
+func GenerateSynthTracesSharded(spec SynthSpec, seed int64, scale float64, n, workers int) (*TraceSet, error) {
+	return synth.GenerateSetSharded(spec, seed, scale, 0, n, workload.DefaultShardSize, normWorkers(workers))
 }
 
 // GenerateTraces collects n transaction traces from the workload.

@@ -58,7 +58,7 @@ func TestCustomWorkload(t *testing.T) {
 	m.Commit(pop)
 
 	i := 0
-	w := addict.NewCustomWorkload("KV", m, 1, []addict.TxnSpec{
+	w, err := addict.NewCustomWorkload("KV", m, 1, []addict.TxnSpec{
 		{Name: "Get", Weight: 0.8, Run: func(txn *addict.Txn) {
 			m.IndexProbe(txn, tbl, tbl.Index(0), uint64(i%500))
 			i++
@@ -71,6 +71,9 @@ func TestCustomWorkload(t *testing.T) {
 			i++
 		}},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	set := addict.GenerateTraces(w, 50)
 	if len(set.Traces) != 50 {
 		t.Fatalf("traces = %d", len(set.Traces))
@@ -83,6 +86,64 @@ func TestCustomWorkload(t *testing.T) {
 	}
 	if res.Threads != 50 {
 		t.Errorf("threads = %d", res.Threads)
+	}
+}
+
+// TestSynthFacade exercises the synthetic-workload surface: presets,
+// name parsing, compilation, and worker-count-independent sharded
+// generation.
+func TestSynthFacade(t *testing.T) {
+	presets := addict.SynthPresets()
+	if len(presets) < 4 {
+		t.Fatalf("%d presets, want >= 4", len(presets))
+	}
+	spec, err := addict.ParseSynthWorkload("synth:zipf-hot-rw+w0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.WriteFrac != 0.2 {
+		t.Errorf("override not applied: %+v", spec)
+	}
+	if _, err := addict.ParseSynthWorkload("synth:nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+
+	w, err := addict.SynthBenchmark(spec, 7, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := addict.GenerateTraces(w, 10)
+	if len(set.Traces) != 10 || set.Workload != "synth:zipf-hot-rw+w0.2" {
+		t.Fatalf("got %q with %d traces", set.Workload, len(set.Traces))
+	}
+
+	serial, err := addict.GenerateSynthTracesSharded(spec, 7, 0.02, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := addict.GenerateSynthTracesSharded(spec, 7, 0.02, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Digest() != parallel.Digest() {
+		t.Error("sharded synth generation depends on worker count")
+	}
+
+	if _, err := addict.SynthBenchmark(addict.SynthSpec{Rows: 1}, 1, 1); err == nil {
+		t.Error("invalid synth spec accepted")
+	}
+}
+
+// TestNewCustomWorkloadValidation covers the facade's spec validation.
+func TestNewCustomWorkloadValidation(t *testing.T) {
+	m := addict.NewStorageManager()
+	if _, err := addict.NewCustomWorkload("Empty", m, 1, nil); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	if _, err := addict.NewCustomWorkload("ZeroW", m, 1, []addict.TxnSpec{
+		{Name: "A", Weight: 0, Run: func(*addict.Txn) {}},
+	}); err == nil {
+		t.Error("all-zero weights accepted")
 	}
 }
 

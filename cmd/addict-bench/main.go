@@ -14,13 +14,16 @@
 //	addict-bench -list           # list experiment ids
 //	addict-bench -json BENCH.json                     # benchmark harness
 //	addict-bench -json BENCH_4.json -baseline BENCH_3.json
+//	addict-bench -json BENCH_ci.json -baseline BENCH_3.json -max-regress 0.15
 //
 // The full report runs on a worker pool (-parallel, default: all available
 // CPUs) and is byte-identical to the serial run (-parallel 1) — see the
 // determinism notes in package addict. The benchmark harness is strictly
 // serial so its cells are comparable across runs; -baseline embeds a
 // previous report (a BENCH_*.json or its "current" section) and records
-// the events/sec speedup against it.
+// the events/sec speedup against it. -max-regress turns the harness into
+// the CI regression gate: the run fails when events/sec drops more than
+// the given fraction below the baseline.
 package main
 
 import (
@@ -37,24 +40,29 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "single experiment id (default: run everything)")
-		quick    = flag.Bool("quick", false, "reduced trace counts and database scale")
-		traces   = flag.Int("traces", 0, "override profiling/evaluation trace counts")
-		scale    = flag.Float64("scale", 0, "override database scale factor")
-		seed     = flag.Int64("seed", 0, "override workload seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the full report (1 = serial; output is identical)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		jsonOut  = flag.String("json", "", "run the replay benchmark harness and write the JSON report to this file (- = stdout)")
-		baseline = flag.String("baseline", "", "previous BENCH_*.json (or bare report) to embed and compute the speedup against (with -json)")
+		expID      = flag.String("exp", "", "single experiment id (default: run everything)")
+		quick      = flag.Bool("quick", false, "reduced trace counts and database scale")
+		traces     = flag.Int("traces", 0, "override profiling/evaluation trace counts")
+		scale      = flag.Float64("scale", 0, "override database scale factor")
+		seed       = flag.Int64("seed", 0, "override workload seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the full report (1 = serial; output is identical)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut    = flag.String("json", "", "run the replay benchmark harness and write the JSON report to this file (- = stdout)")
+		baseline   = flag.String("baseline", "", "previous BENCH_*.json (or bare report) to embed and compute the speedup against (with -json)")
+		maxRegress = flag.Float64("max-regress", 0, "fail when events/sec drops more than this fraction below the baseline (e.g. 0.15; requires -json and -baseline; 0 disables) — the CI bench-regression gate")
 	)
 	flag.Parse()
 
 	if *jsonOut != "" {
-		if err := runBenchHarness(*jsonOut, *baseline, *traces, *scale, *seed); err != nil {
+		if err := runBenchHarness(*jsonOut, *baseline, *maxRegress, *traces, *scale, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *maxRegress != 0 {
+		fmt.Fprintln(os.Stderr, "addict-bench: -max-regress requires -json and -baseline")
+		os.Exit(2)
 	}
 
 	if *list {
@@ -98,7 +106,16 @@ func main() {
 
 // runBenchHarness runs the internal/bench replay harness and writes the
 // BENCH_*.json file. Overrides of 0 keep the standard (comparable) sizes.
-func runBenchHarness(jsonOut, baselinePath string, traces int, scale float64, seed int64) error {
+// A non-zero maxRegress turns the run into a regression gate: it fails
+// when the current events/sec falls more than that fraction below the
+// baseline's.
+func runBenchHarness(jsonOut, baselinePath string, maxRegress float64, traces int, scale float64, seed int64) error {
+	if maxRegress < 0 || maxRegress >= 1 {
+		return fmt.Errorf("-max-regress %v outside [0, 1)", maxRegress)
+	}
+	if maxRegress > 0 && baselinePath == "" {
+		return fmt.Errorf("-max-regress requires -baseline")
+	}
 	cfg := addict.DefaultBenchConfig()
 	if traces > 0 {
 		cfg.ProfileTraces = traces
@@ -150,5 +167,26 @@ func runBenchHarness(jsonOut, baselinePath string, traces int, scale float64, se
 		fmt.Fprintf(os.Stderr, ", %.2fx vs baseline", file.SpeedupEventsPerSec)
 	}
 	fmt.Fprintf(os.Stderr, " (%v)\n", time.Since(start).Round(time.Millisecond))
+	if maxRegress > 0 {
+		// An events/sec ratio only means something when both reports
+		// measured the same thing: gate refuses mismatched configurations
+		// instead of judging an apples-to-oranges ratio.
+		if base.Seed != rep.Seed || base.Scale != rep.Scale ||
+			base.ProfileTraces != rep.ProfileTraces || base.EvalTraces != rep.EvalTraces {
+			return fmt.Errorf("-max-regress: baseline %s measured (seed=%d scale=%v traces=%d/%d), this run (seed=%d scale=%v traces=%d/%d) — not comparable",
+				baselinePath, base.Seed, base.Scale, base.ProfileTraces, base.EvalTraces,
+				rep.Seed, rep.Scale, rep.ProfileTraces, rep.EvalTraces)
+		}
+		floor := 1 - maxRegress
+		if file.SpeedupEventsPerSec == 0 {
+			return fmt.Errorf("-max-regress: baseline %s carries no events/sec to gate against", baselinePath)
+		}
+		if file.SpeedupEventsPerSec < floor {
+			return fmt.Errorf("performance regression: %.2fx of baseline events/sec is below the %.2fx floor (max regression %.0f%%)",
+				file.SpeedupEventsPerSec, floor, maxRegress*100)
+		}
+		fmt.Fprintf(os.Stderr, "regression gate passed: %.2fx >= %.2fx floor\n",
+			file.SpeedupEventsPerSec, floor)
+	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -89,5 +90,75 @@ func TestBenchJSON(t *testing.T) {
 	}
 	if withBase.Baseline == nil || withBase.Speedup <= 0 {
 		t.Fatalf("baseline run missing baseline or speedup")
+	}
+}
+
+// TestMaxRegressGate exercises the CI bench-regression gate both ways: a
+// run against its own recent report passes a generous floor, and a
+// baseline with artificially inflated throughput (the injected slowdown,
+// seen from the other side) fails it.
+func TestMaxRegressGate(t *testing.T) {
+	exe := cmdtest.Build(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cmdtest.Run(t, exe, "-json", base, "-traces", "8", "-scale", "0.05")
+
+	// Same machine, same sizes: well within a 60% floor.
+	out := filepath.Join(dir, "gated.json")
+	_, stderr := cmdtest.Run(t, exe, "-json", out, "-baseline", base,
+		"-traces", "8", "-scale", "0.05", "-max-regress", "0.6")
+	if !strings.Contains(stderr, "regression gate passed") {
+		t.Errorf("gate pass not reported:\n%s", stderr)
+	}
+
+	// Inflate the baseline's events/sec 4x: the fresh run now looks like a
+	// >15% regression and the gate must fail.
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	cur := f["current"].(map[string]any)
+	replay := cur["replay"].(map[string]any)
+	replay["events_per_sec"] = replay["events_per_sec"].(float64) * 4
+	inflated, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := filepath.Join(dir, "inflated.json")
+	if err := os.WriteFile(slow, inflated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-json", filepath.Join(dir, "fail.json"), "-baseline", slow,
+		"-traces", "8", "-scale", "0.05", "-max-regress", "0.15")
+	outb, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("gate passed against a 4x-inflated baseline:\n%s", outb)
+	}
+	if !strings.Contains(string(outb), "performance regression") {
+		t.Errorf("failure output missing diagnosis:\n%s", outb)
+	}
+
+	// A baseline measured at different sizes is not comparable; the gate
+	// must refuse rather than judge the ratio.
+	cmd = exec.Command(exe, "-json", filepath.Join(dir, "mismatch.json"), "-baseline", base,
+		"-traces", "6", "-scale", "0.05", "-max-regress", "0.15")
+	outb, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("gate accepted a mismatched-config baseline:\n%s", outb)
+	}
+	if !strings.Contains(string(outb), "not comparable") {
+		t.Errorf("mismatch output missing diagnosis:\n%s", outb)
+	}
+
+	// -max-regress without the harness flags is a usage error.
+	if err := exec.Command(exe, "-max-regress", "0.15").Run(); err == nil {
+		t.Error("-max-regress without -json accepted")
+	}
+	if err := exec.Command(exe, "-json", filepath.Join(dir, "x.json"), "-max-regress", "0.15").Run(); err == nil {
+		t.Error("-max-regress without -baseline accepted")
 	}
 }

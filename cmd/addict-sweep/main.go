@@ -8,6 +8,7 @@
 //
 //	addict-sweep -grid 'l1i=16K,32K,64K; mech=Baseline,ADDICT; threads=4,8,16'
 //	addict-sweep -grid 'cores=4,8,16; workload=TPC-C' -format csv
+//	addict-sweep -grid 'synth=zipf-hot-rw; theta=0.6,0.9,0.99; write=0.1,0.5,0.9'
 //	addict-sweep -spec sweep.json -format jsonl -parallel 8
 //	addict-sweep -axes      # list grid axis names
 //
@@ -45,6 +46,10 @@ var axisHelp = []struct{ name, desc string }{
 	{"mem", "memory latencies in cycles"},
 	{"threads", "batch sizes / offered concurrency (0 = core count)"},
 	{"admit", "admission caps (0 = mechanism default)"},
+	{"synth", "synthetic-workload preset the synth axes vary (one value; see tracegen -synth-presets)"},
+	{"theta", "zipfian skew exponents in (0, 1) (synth axis)"},
+	{"write", "base write fractions in [0, 1] (synth axis)"},
+	{"hot", "hot-set sizes in keys (synth axis)"},
 }
 
 func main() {
@@ -175,6 +180,17 @@ func setAxis(spec *addict.SweepSpec, name string, values []string) error {
 		return parseInts(values, strconv.Atoi, &spec.Threads)
 	case "admit":
 		return parseInts(values, strconv.Atoi, &spec.AdmitLimits)
+	case "synth":
+		if len(values) != 1 {
+			return fmt.Errorf("grid axis %q: exactly one preset, got %v", name, values)
+		}
+		spec.Synth = values[0]
+	case "theta", "thetas":
+		return parseFloats(values, &spec.SynthThetas)
+	case "write", "writefrac":
+		return parseFloats(values, &spec.SynthWriteFracs)
+	case "hot", "hotkeys":
+		return parseInts(values, strconv.Atoi, &spec.SynthHotKeys)
 	default:
 		return fmt.Errorf("unknown grid axis %q (see -axes)", name)
 	}
@@ -189,6 +205,19 @@ func parseInts(values []string, parse func(string) (int, error), dst *[]int) err
 			return fmt.Errorf("value %q: %v", v, err)
 		}
 		out = append(out, n)
+	}
+	*dst = out
+	return nil
+}
+
+func parseFloats(values []string, dst *[]float64) error {
+	out := make([]float64, 0, len(values))
+	for _, v := range values {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("value %q: %v", v, err)
+		}
+		out = append(out, f)
 	}
 	*dst = out
 	return nil

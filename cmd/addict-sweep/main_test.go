@@ -12,7 +12,7 @@ import (
 func TestAxesListing(t *testing.T) {
 	exe := cmdtest.Build(t)
 	stdout, _ := cmdtest.Run(t, exe, "-axes")
-	for _, axis := range []string{"workload", "mech", "l1i", "cores", "threads", "admit"} {
+	for _, axis := range []string{"workload", "mech", "l1i", "cores", "threads", "admit", "synth", "theta", "write", "hot"} {
 		if !strings.Contains(stdout, axis) {
 			t.Errorf("-axes output missing %q", axis)
 		}
@@ -33,5 +33,43 @@ func TestSmoke(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "Baseline") || !strings.Contains(stdout, "ADDICT") {
 		t.Errorf("unit rows missing mechanisms:\n%s", stdout)
+	}
+}
+
+// TestSynthGridSmoke sweeps a synthetic preset over two write fractions
+// and checks the encoded workload names reach the output with stable IDs.
+func TestSynthGridSmoke(t *testing.T) {
+	exe := cmdtest.Build(t)
+	stdout, _ := cmdtest.Run(t, exe,
+		"-grid", "synth=uniform-ro; write=0.1,0.9; mech=Baseline",
+		"-traces", "8", "-scale", "0.01", "-format", "csv")
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 unit rows, got %d lines:\n%s", len(lines), stdout)
+	}
+	for _, want := range []string{"synth:uniform-ro+w0.1/Baseline/", "synth:uniform-ro+w0.9/Baseline/"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing unit %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestSynthGridByteIdentity: the acceptance criterion's CLI half — a synth
+// grid must emit identical bytes for every -parallel value.
+func TestSynthGridByteIdentity(t *testing.T) {
+	exe := cmdtest.Build(t)
+	grid := []string{
+		"-grid", "synth=zipf-hot-rw; theta=0.6,0.99; mech=Baseline,ADDICT",
+		"-traces", "12", "-scale", "0.01", "-format", "csv",
+	}
+	ref, _ := cmdtest.Run(t, exe, append(grid, "-parallel", "1")...)
+	if len(ref) == 0 {
+		t.Fatal("serial synth sweep produced no output")
+	}
+	for _, par := range []string{"2", "8"} {
+		got, _ := cmdtest.Run(t, exe, append(grid, "-parallel", par)...)
+		if got != ref {
+			t.Errorf("-parallel %s output diverges from serial", par)
+		}
 	}
 }

@@ -1,12 +1,15 @@
 // Command characterize runs the paper's Section 2 memory characterization
 // (Figures 1-3) — operation footprints, instruction/data overlap, and
-// within-instance reuse — on generated traces or a saved trace file.
+// within-instance reuse — on generated traces or a saved trace file, and
+// the synthetic-workload characterization (mechanism rankings across the
+// shipped scenario presets).
 //
 // Usage:
 //
 //	characterize                       # all three figures on fresh traces
 //	characterize -workload TPC-E       # overlap analysis of one workload
 //	characterize -traces 500 -scale 0.5
+//	characterize -synth                # mechanism rankings across presets
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 		traces = flag.Int("traces", 1000, "traces per workload")
 		scale  = flag.Float64("scale", 1.0, "database scale factor")
 		seed   = flag.Int64("seed", 42, "workload seed")
+		synth  = flag.Bool("synth", false, "run the synthetic-workload characterization (mechanism rankings across presets) instead of Figures 1-3")
 	)
 	flag.Parse()
 
@@ -36,6 +40,12 @@ func main() {
 	defer out.Flush()
 
 	ids := []string{"fig1", "fig2", "fig3"}
+	if *synth {
+		// The ranking experiment replays evaluation windows too; keep both
+		// trace counts in step with -traces.
+		p.EvalTraces = *traces
+		ids = []string{"synthchar"}
+	}
 	if *name != "" {
 		// Single-workload overlap only (fig2 covers all three otherwise).
 		if _, err := addict.NewWorkload(*name, *seed, 0.01); err != nil {

@@ -18,3 +18,18 @@ func TestSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestSynthSmoke runs the synthetic-workload ranking characterization at
+// tiny sizes.
+func TestSynthSmoke(t *testing.T) {
+	exe := cmdtest.Build(t)
+	stdout, _ := cmdtest.Run(t, exe, "-synth", "-traces", "8", "-scale", "0.02", "-seed", "7")
+	for _, want := range []string{"mechanism ranking", "TPC-B", "synth:zipf-hot-rw", "<"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "Figure 1") {
+		t.Error("-synth must replace the Figure 1-3 run")
+	}
+}

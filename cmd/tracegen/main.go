@@ -1,17 +1,32 @@
-// Command tracegen generates transaction traces from a TPC workload and
-// writes them in the binary trace format — the reproduction's counterpart
-// of the paper's Pin-based trace collection (Section 4.1).
+// Command tracegen generates transaction traces from a TPC workload or a
+// declarative synthetic workload and writes them in the binary trace
+// format — the reproduction's counterpart of the paper's Pin-based trace
+// collection (Section 4.1).
 //
 // Usage:
 //
 //	tracegen -workload TPC-C -n 1000 -o tpcc.traces
 //	tracegen -workload TPC-B -n 11000 -seed 7 -o tpcb.traces
+//	tracegen -synth zipf-hot-rw -n 1000 -o zipf.traces
+//	tracegen -synth synth:uniform-ro+w0.3 -parallel 8 -o mix.traces
+//	tracegen -synth scenario.json -n 2000 -o scenario.traces
+//	tracegen -synth-presets
+//
+// -synth accepts a shipped preset name ("zipf-hot-rw"), an encoded
+// workload name with overrides ("synth:<preset>[+z<theta>][+w<frac>]
+// [+h<keys>]"), or a path to a spec JSON file (see SynthSpec). Synthetic
+// generation is sharded: the output is byte-identical for every -parallel
+// value.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"addict"
@@ -19,21 +34,46 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("workload", "TPC-C", "benchmark: TPC-B, TPC-C, or TPC-E")
-		n     = flag.Int("n", 1000, "number of transaction traces")
-		seed  = flag.Int64("seed", 42, "workload seed")
-		scale = flag.Float64("scale", 1.0, "database scale factor")
-		out   = flag.String("o", "", "output file (default: stdout)")
+		name     = flag.String("workload", "TPC-C", "benchmark: TPC-B, TPC-C, or TPC-E")
+		synth    = flag.String("synth", "", "synthetic workload: preset name, synth:... name, or spec JSON file (overrides -workload)")
+		n        = flag.Int("n", 1000, "number of transaction traces")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		scale    = flag.Float64("scale", 1.0, "database scale factor")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for sharded synthetic generation (1 = serial; output is identical)")
+		out      = flag.String("o", "", "output file (default: stdout)")
+		presets  = flag.Bool("synth-presets", false, "list synthetic presets and exit")
 	)
 	flag.Parse()
 
-	w, err := addict.NewWorkload(*name, *seed, *scale)
+	if *presets {
+		for _, p := range addict.SynthPresets() {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	var (
+		set *addict.TraceSet
+		err error
+	)
+	start := time.Now()
+	if *synth != "" {
+		var spec addict.SynthSpec
+		spec, err = loadSynthSpec(*synth)
+		if err == nil {
+			set, err = addict.GenerateSynthTracesSharded(spec, *seed, *scale, *n, *parallel)
+		}
+	} else {
+		var w *addict.Workload
+		w, err = addict.NewWorkload(*name, *seed, *scale)
+		if err == nil {
+			set = addict.GenerateTraces(w, *n)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	start := time.Now()
-	set := addict.GenerateTraces(w, *n)
 
 	f := os.Stdout
 	if *out != "" {
@@ -55,4 +95,29 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d traces, %d events, %d instructions (%v)\n",
 		set.Workload, len(set.Traces), events, instr, time.Since(start).Round(time.Millisecond))
+}
+
+// loadSynthSpec resolves the -synth argument: a readable file is parsed as
+// a spec JSON (unknown fields rejected); anything else is a preset or
+// encoded workload name.
+func loadSynthSpec(arg string) (addict.SynthSpec, error) {
+	data, ferr := os.ReadFile(arg)
+	if ferr != nil {
+		if strings.HasSuffix(arg, ".json") {
+			// An explicit spec file that cannot be read is an error, not a
+			// preset-name fallback.
+			return addict.SynthSpec{}, ferr
+		}
+		return addict.ParseSynthWorkload(arg)
+	}
+	var spec addict.SynthSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return addict.SynthSpec{}, fmt.Errorf("%s: %w", arg, err)
+	}
+	if dec.More() {
+		return addict.SynthSpec{}, fmt.Errorf("%s: trailing data after the spec object", arg)
+	}
+	return spec, nil
 }

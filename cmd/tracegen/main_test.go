@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -35,6 +38,118 @@ func TestSmoke(t *testing.T) {
 	for i, tr := range set.Traces {
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("trace %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestSynthSmoke generates a synthetic trace file from a preset name and
+// from an equivalent spec JSON file.
+func TestSynthSmoke(t *testing.T) {
+	exe := cmdtest.Build(t)
+	dir := t.TempDir()
+
+	out := filepath.Join(dir, "synth.traces")
+	_, stderr := cmdtest.Run(t, exe,
+		"-synth", "zipf-hot-rw", "-n", "4", "-scale", "0.01", "-seed", "7", "-o", out)
+	if !strings.Contains(stderr, "4 traces") {
+		t.Fatalf("summary line missing trace count:\n%s", stderr)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	set, err := addict.ReadTraces(f)
+	if err != nil {
+		t.Fatalf("decoding generated file: %v", err)
+	}
+	if set.Workload != "synth:zipf-hot-rw" || len(set.Traces) != 4 {
+		t.Fatalf("got %q with %d traces", set.Workload, len(set.Traces))
+	}
+
+	// The same workload via a spec file.
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{"name":"synth:filed","tables":2,"rows":200,"txn_types":2,
+		"skew":{"dist":"hotset","hot_keys":8,"hot_prob":0.8},"write_frac":0.3}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(dir, "filed.traces")
+	cmdtest.Run(t, exe, "-synth", specPath, "-n", "3", "-o", out2)
+	g, err := os.Open(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	set2, err := addict.ReadTraces(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2.Workload != "synth:filed" || len(set2.Traces) != 3 {
+		t.Fatalf("spec file run: got %q with %d traces", set2.Workload, len(set2.Traces))
+	}
+}
+
+// TestSynthParallelByteIdentity is the CLI half of the acceptance
+// criterion: -synth output must be byte-identical for every -parallel
+// value, including trace counts spanning several shards.
+func TestSynthParallelByteIdentity(t *testing.T) {
+	exe := cmdtest.Build(t)
+	dir := t.TempDir()
+	files := map[int]string{}
+	for _, par := range []int{1, 2, 4} {
+		out := filepath.Join(dir, fmt.Sprintf("p%d.traces", par))
+		cmdtest.Run(t, exe,
+			"-synth", "synth:uniform-ro+w0.2", "-n", "40", "-scale", "0.01",
+			"-seed", "9", "-parallel", fmt.Sprint(par), "-o", out)
+		files[par] = out
+	}
+	want, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial run produced an empty file")
+	}
+	for _, par := range []int{2, 4} {
+		got, err := os.ReadFile(files[par])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("-parallel %d output diverges from serial", par)
+		}
+	}
+}
+
+// TestSynthPresetsFlag lists the shipped presets.
+func TestSynthPresetsFlag(t *testing.T) {
+	exe := cmdtest.Build(t)
+	stdout, _ := cmdtest.Run(t, exe, "-synth-presets")
+	for _, p := range addict.SynthPresets() {
+		if !strings.Contains(stdout, p) {
+			t.Errorf("preset %q missing from -synth-presets output:\n%s", p, stdout)
+		}
+	}
+}
+
+// TestSynthBadInputsFail covers the error paths: unknown preset, missing
+// spec file, malformed JSON.
+func TestSynthBadInputsFail(t *testing.T) {
+	exe := cmdtest.Build(t)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tables": "many"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-synth", "no-such-preset", "-n", "1"},
+		{"-synth", filepath.Join(dir, "missing.json"), "-n", "1"},
+		{"-synth", bad, "-n", "1"},
+	} {
+		cmd := exec.Command(exe, args...)
+		if err := cmd.Run(); err == nil {
+			t.Errorf("tracegen %v succeeded, want failure", args)
 		}
 	}
 }

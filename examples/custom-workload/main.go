@@ -77,7 +77,10 @@ func main() {
 			m.IndexScan(txn, queue.Index(0), head, head+20, true, true, 10)
 		}},
 	}
-	w := addict.NewCustomWorkload("MsgQueue", m, 7, specs)
+	w, err := addict.NewCustomWorkload("MsgQueue", m, 7, specs)
+	if err != nil {
+		panic(err)
+	}
 
 	profSet := addict.GenerateTraces(w, 300)
 	prof := addict.FindMigrationPoints(profSet)

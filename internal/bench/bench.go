@@ -24,6 +24,10 @@ import (
 // Config scopes one harness run.
 type Config struct {
 	// Workloads are the benchmark names to measure (default: TPC-B/C/E).
+	// Encoded synthetic workloads ("synth:<preset>[+z<theta>][+w<frac>]
+	// [+h<keys>]", see internal/workload/synth) are accepted too — the
+	// artifact cache resolves both name spaces through the same sharded
+	// recipe.
 	Workloads []string
 	// Mechanisms are the scheduling mechanisms to measure (default: all).
 	Mechanisms []sched.Mechanism
@@ -123,6 +127,11 @@ const schemaID = "addict-bench/v1"
 // diagnose when the slow cell is visible).
 func Run(cfg Config, progress io.Writer) (*Report, error) {
 	cfg = withDefaults(cfg)
+	for _, name := range cfg.Workloads {
+		if err := sweep.ValidateWorkloadName(name); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+	}
 	arts := sweep.NewArtifacts(cfg.Seed, cfg.Scale, cfg.ProfileTraces, cfg.EvalTraces, cfg.Workers)
 	rep := &Report{
 		Schema:        schemaID,

@@ -131,6 +131,37 @@ func TestRunProducesReport(t *testing.T) {
 	}
 }
 
+// TestRunAcceptsSynthWorkloads: the harness must resolve encoded
+// synthetic-workload names through the shared artifact cache, so synth
+// scenarios can join the BENCH trajectory.
+func TestRunAcceptsSynthWorkloads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workloads = []string{"synth:uniform-ro"}
+	cfg.Mechanisms = []sched.Mechanism{sched.Baseline, sched.ADDICT}
+	cfg.Scale = 0.02
+	cfg.ProfileTraces = 20
+	cfg.EvalTraces = 20
+	cfg.MinRuns = 1
+	cfg.MinDuration = 1
+	rep, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Workload != "synth:uniform-ro" || c.Events == 0 || c.EventsPerSec <= 0 {
+			t.Fatalf("degenerate synth cell %+v", c)
+		}
+	}
+
+	cfg.Workloads = []string{"synth:no-such-preset"}
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("unknown synth workload accepted")
+	}
+}
+
 // BenchmarkReplay measures the full replay path (executor construction
 // plus event loop) for the Baseline mechanism — the headline
 // events-per-second number.

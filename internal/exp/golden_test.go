@@ -26,6 +26,7 @@ var goldenIDs = []struct{ prefix, id string }{
 	{"Figure 8b:", "fig8b"},
 	{"Figure 9:", "fig9"},
 	{"Ablations", "ablations"},
+	{"Synthetic workloads:", "synthchar"},
 }
 
 // splitReport cuts a RunAll report into per-golden-id chunks. Every section

@@ -44,6 +44,7 @@ func RunAll(out io.Writer, p Params) {
 	for _, name := range Workloads {
 		Ablate(w, name).Render(out)
 	}
+	SynthChar(w).Render(out)
 }
 
 // RunAllParallel executes every experiment of RunAll on a bounded worker
@@ -151,6 +152,17 @@ func RunAllParallel(out io.Writer, p Params, workers int) {
 		name := name
 		ablateJobs = append(ablateJobs, buffered(func(out io.Writer) { Ablate(w, name).Render(out) }))
 	}
+	// Synthetic characterization fans out per scenario (each is a full
+	// generate+profile+4-replay unit) and renders from the assembled rows.
+	synthNames := SynthWorkloads()
+	synthRows := make([]SynthCharRow, len(synthNames))
+	synthJobs := make([]func(), len(synthNames))
+	synthWaits := make([]func(), len(synthNames))
+	for i, name := range synthNames {
+		i, name := i, name
+		synthJobs[i], synthWaits[i] = done(func() { synthRows[i] = synthCharRow(w, name) })
+	}
+	direct(waitAll(synthWaits), func(out io.Writer) { SynthCharResult{Rows: synthRows}.Render(out) })
 
 	// Execution plan. Warm-up units first: the per-(workload, mechanism)
 	// replays are the shared dependencies of everything below, so
@@ -171,6 +183,7 @@ func RunAllParallel(out io.Writer, p Params, workers int) {
 	jobs = append(jobs, fig4Jobs...)
 	jobs = append(jobs, fig7Jobs...)
 	jobs = append(jobs, ablateJobs...)
+	jobs = append(jobs, synthJobs...)
 	jobs = append(jobs, deepJobs...)
 	jobs = append(jobs, compareJobs...)
 
@@ -264,6 +277,9 @@ var Experiments = map[string]func(out io.Writer, p Params, workers int){
 		for _, name := range Workloads {
 			Ablate(w, name).Render(out)
 		}
+	},
+	"synthchar": func(out io.Writer, p Params, workers int) {
+		SynthChar(newExpWorkbench(p, workers)).Render(out)
 	},
 }
 

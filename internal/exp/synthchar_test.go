@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"addict/internal/sched"
+)
+
+// TestSynthCharRankingDiffersFromTPCB is the acceptance check of the
+// synthetic-workload subsystem: at least one shipped preset must induce a
+// different mechanism ranking than TPC-B — the scenario axes genuinely
+// move the outcome, they don't just re-measure the TPC regime.
+func TestSynthCharRankingDiffersFromTPCB(t *testing.T) {
+	p := tinyParams()
+	r := SynthChar(NewParallelWorkbench(p, 4))
+	if len(r.Rows) < 5 {
+		t.Fatalf("characterized %d scenarios, want TPC-B + >= 4 presets", len(r.Rows))
+	}
+	if r.Rows[0].Workload != "TPC-B" {
+		t.Fatalf("reference row is %q, want TPC-B", r.Rows[0].Workload)
+	}
+	for _, row := range r.Rows {
+		if len(row.Ranking) != 4 {
+			t.Fatalf("%s: ranking has %d mechanisms", row.Workload, len(row.Ranking))
+		}
+	}
+	if !r.RankingDiffersFromFirst() {
+		for _, row := range r.Rows {
+			t.Logf("%s: %s", row.Workload, row.RankingString())
+		}
+		t.Error("every preset ranks the mechanisms exactly like TPC-B")
+	}
+}
+
+// TestSynthCharRender sanity-checks the rendered sections.
+func TestSynthCharRender(t *testing.T) {
+	r := SynthCharResult{Rows: []SynthCharRow{
+		{Workload: "TPC-B", Ranking: []sched.Mechanism{sched.ADDICT, sched.SLICC, sched.STREX, sched.Baseline}},
+	}}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Synthetic workloads: mechanism ranking") {
+		t.Errorf("missing ranking section:\n%s", out)
+	}
+	if !strings.Contains(out, "ADDICT < SLICC < STREX < Baseline") {
+		t.Errorf("missing ranking string:\n%s", out)
+	}
+}

@@ -11,7 +11,36 @@ import (
 	"addict/internal/sim"
 	"addict/internal/trace"
 	"addict/internal/workload"
+	"addict/internal/workload/synth"
 )
+
+// generateSharded resolves a workload name — a TPC benchmark or an encoded
+// synthetic workload ("synth:...") — and generates a sharded trace window
+// for it. Both paths share the identical shard recipe, so the worker-count
+// byte-identity guarantee is uniform across the name space.
+func generateSharded(name string, seed int64, scale float64, baseShard, n, shardSize, workers int) (*trace.Set, error) {
+	if synth.IsName(name) {
+		spec, err := synth.ParseName(name)
+		if err != nil {
+			return nil, err
+		}
+		return synth.GenerateSetSharded(spec, seed, scale, baseShard, n, shardSize, workers)
+	}
+	return workload.GenerateSetSharded(name, seed, scale, baseShard, n, shardSize, workers)
+}
+
+// ValidateWorkloadName rejects names neither the TPC builder nor the
+// synthetic-workload parser recognizes — callers of Artifacts check names
+// up front with it, because the memoized generators treat a bad name as a
+// panic-worthy programming error rather than an input error.
+func ValidateWorkloadName(name string) error {
+	if synth.IsName(name) {
+		_, err := synth.ParseName(name)
+		return err
+	}
+	_, err := workload.Builder(name)
+	return err
+}
 
 // Metrics are the per-unit outcomes every emitter reports. All values are
 // raw (not normalized): normalization needs a baseline point, and which
@@ -116,7 +145,7 @@ func (a *Artifacts) Layout() *codemap.Layout { return a.layout }
 // space, worker-count independent.
 func (a *Artifacts) ProfileSet(name string) *trace.Set {
 	return a.profSets.Do(name, func() *trace.Set {
-		s, err := workload.GenerateSetSharded(name, a.seed, a.scale,
+		s, err := generateSharded(name, a.seed, a.scale,
 			0, a.profileTraces, workload.DefaultShardSize, a.workers)
 		if err != nil {
 			panic(err)
@@ -131,7 +160,7 @@ func (a *Artifacts) ProfileSet(name string) *trace.Set {
 func (a *Artifacts) EvalSet(name string) *trace.Set {
 	return a.evalSets.Do(name, func() *trace.Set {
 		base := workload.NumShards(a.profileTraces, workload.DefaultShardSize)
-		s, err := workload.GenerateSetSharded(name, a.seed, a.scale,
+		s, err := generateSharded(name, a.seed, a.scale,
 			base, a.evalTraces, workload.DefaultShardSize, a.workers)
 		if err != nil {
 			panic(err)
@@ -182,7 +211,7 @@ func Run(spec Spec, em Emitter, workers int) error {
 	seen := map[string]bool{}
 	for _, u := range units {
 		if !seen[u.Workload] {
-			if _, err := workload.Builder(u.Workload); err != nil {
+			if err := ValidateWorkloadName(u.Workload); err != nil {
 				return fmt.Errorf("sweep: %w", err)
 			}
 			seen[u.Workload] = true

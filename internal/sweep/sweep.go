@@ -1,6 +1,8 @@
 // Package sweep implements the parameter-sweep subsystem: a declarative
 // grid over machine parameters (L1-I/LLC geometry, core count, miss
-// latencies), workloads, scheduling mechanisms, thread counts, and
+// latencies), workloads — the TPC benchmarks and synthetic scenarios
+// (internal/workload/synth), with dedicated axes for skew exponent, write
+// fraction, and hot-set size — scheduling mechanisms, thread counts, and
 // admission limits, expanded into experiment units and executed on the
 // shared worker pool with the same determinism guarantees as the figure
 // pipeline (internal/exp). It answers the sensitivity questions the paper's
@@ -21,6 +23,7 @@ import (
 
 	"addict/internal/sched"
 	"addict/internal/sim"
+	"addict/internal/workload/synth"
 )
 
 // Spec is a declarative sweep grid. The axis fields each list the values
@@ -43,8 +46,26 @@ type Spec struct {
 	// Deep selects the Section 4.6 deeper hierarchy as the base machine.
 	Deep bool `json:"deep,omitempty"`
 
-	// Workloads lists benchmark names ("TPC-B", "TPC-C", "TPC-E").
+	// Workloads lists benchmark names: "TPC-B", "TPC-C", "TPC-E", or
+	// encoded synthetic workloads ("synth:<preset>[+z<theta>][+w<frac>]
+	// [+h<keys>]", see internal/workload/synth).
 	Workloads []string `json:"workloads,omitempty"`
+
+	// Synth selects a shipped synthetic-workload preset; the three synth
+	// axes below vary it, and every (theta, write fraction, hot-set size)
+	// combination appends one encoded workload name to the workload axis —
+	// after the explicit Workloads, theta outermost, hot-set size
+	// innermost. An empty synth axis keeps the preset's own value. Setting
+	// Synth with no Workloads sweeps only the synthetic variants (the TPC
+	// default trio is not dragged in).
+	Synth string `json:"synth,omitempty"`
+	// SynthThetas sweeps the zipfian skew exponent, each value in (0, 1).
+	SynthThetas []float64 `json:"synth_thetas,omitempty"`
+	// SynthWriteFracs sweeps the base write fraction, each value in [0, 1].
+	SynthWriteFracs []float64 `json:"synth_write_fracs,omitempty"`
+	// SynthHotKeys sweeps the hot-set size (selects the hotset
+	// distribution), each value >= 1.
+	SynthHotKeys []int `json:"synth_hot_keys,omitempty"`
 	// Mechanisms lists scheduling mechanisms ("Baseline", "STREX",
 	// "SLICC", "ADDICT").
 	Mechanisms []string `json:"mechanisms,omitempty"`
@@ -137,7 +158,9 @@ var (
 	}
 )
 
-// withDefaults fills the unset base parameters.
+// withDefaults fills the unset base parameters. The workload axis defaults
+// to the TPC trio only when no synthetic preset is selected: a synth-only
+// sweep should not drag the three TPC populations in.
 func (s Spec) withDefaults() Spec {
 	if s.Seed == 0 {
 		s.Seed = 42
@@ -151,13 +174,54 @@ func (s Spec) withDefaults() Spec {
 	if s.EvalTraces == 0 {
 		s.EvalTraces = 250
 	}
-	if len(s.Workloads) == 0 {
+	if len(s.Workloads) == 0 && s.Synth == "" {
 		s.Workloads = defaultWorkloads
 	}
 	if len(s.Mechanisms) == 0 {
 		s.Mechanisms = defaultMechanisms
 	}
 	return s
+}
+
+// synthNames expands the synthetic-workload axes into encoded workload
+// names, validating every combination by parsing it back.
+func (s Spec) synthNames() ([]string, error) {
+	if s.Synth == "" {
+		if len(s.SynthThetas)+len(s.SynthWriteFracs)+len(s.SynthHotKeys) > 0 {
+			return nil, fmt.Errorf("sweep: synth axes set without a synth preset")
+		}
+		return nil, nil
+	}
+	if _, ok := synth.Preset(s.Synth); !ok {
+		return nil, fmt.Errorf("sweep: unknown synth preset %q (have %s)",
+			s.Synth, strings.Join(synth.Presets(), ", "))
+	}
+	// Internal absent-override sentinels (0 for theta and hot-set size, -1
+	// for the write fraction, where 0 is meaningful); validate() has
+	// already rejected them as explicit axis values.
+	thetas, writes, hots := s.SynthThetas, s.SynthWriteFracs, s.SynthHotKeys
+	if len(thetas) == 0 {
+		thetas = []float64{0}
+	}
+	if len(writes) == 0 {
+		writes = []float64{-1}
+	}
+	if len(hots) == 0 {
+		hots = []int{0}
+	}
+	var names []string
+	for _, z := range thetas {
+		for _, w := range writes {
+			for _, h := range hots {
+				name := synth.EncodeName(s.Synth, z, w, h)
+				if _, err := synth.ParseName(name); err != nil {
+					return nil, fmt.Errorf("sweep: %w", err)
+				}
+				names = append(names, name)
+			}
+		}
+	}
+	return names, nil
 }
 
 // BaseMachine returns the spec's base machine configuration.
@@ -180,10 +244,12 @@ func orZero[T any](axis []T) []T {
 // Expand resolves the grid into units: the cartesian product of every axis,
 // in the fixed nesting order workload (outermost), mechanism, L1-I size,
 // L1-I ways, LLC size, LLC ways, cores, LLC hit latency, memory latency,
-// threads, admit (innermost). The order is part of the contract: it decides
-// the emission order of every run over the same spec. Machine overrides are
-// validated at expansion, so an unbuildable grid point fails here instead
-// of mid-run.
+// threads, admit (innermost). The workload axis is the explicit Workloads
+// followed by the synthetic-preset variants (theta outermost, write
+// fraction, hot-set size innermost). The order is part of the contract: it
+// decides the emission order of every run over the same spec. Machine
+// overrides are validated at expansion, so an unbuildable grid point fails
+// here instead of mid-run.
 func (s Spec) Expand() ([]Unit, error) {
 	return s.ExpandOn(s.BaseMachine())
 }
@@ -235,10 +301,22 @@ func (s Spec) validate() error {
 		posU("shared_hit_cycles", s.SharedHitCycles), posU("mem_cycles", s.MemCycles),
 		// 0 is meaningful for the load axes (= mechanism default).
 		nonNeg("threads", s.Threads), nonNeg("admit_limits", s.AdmitLimits),
+		pos("synth_hot_keys", s.SynthHotKeys),
 	}
 	for _, err := range checks {
 		if err != nil {
 			return err
+		}
+	}
+	// Positive phrasing so NaN (every comparison false) is rejected too.
+	for _, v := range s.SynthThetas {
+		if !(v > 0 && v < 1) {
+			return fmt.Errorf("sweep: axis synth_thetas: value %v outside (0, 1)", v)
+		}
+	}
+	for _, v := range s.SynthWriteFracs {
+		if !(v >= 0 && v <= 1) {
+			return fmt.Errorf("sweep: axis synth_write_fracs: value %v outside [0, 1]", v)
 		}
 	}
 	return nil
@@ -252,8 +330,13 @@ func (s Spec) ExpandOn(base sim.Config) ([]Unit, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
+	synthNames, err := s.synthNames()
+	if err != nil {
+		return nil, err
+	}
+	workloads := append(append([]string{}, s.Workloads...), synthNames...)
 	var units []Unit
-	for _, w := range s.Workloads {
+	for _, w := range workloads {
 		for _, mechName := range s.Mechanisms {
 			mech, err := mechanismByName(mechName)
 			if err != nil {

@@ -44,9 +44,46 @@ type TxnSpec struct {
 // an already-populated storage manager — the hook for workloads beyond the
 // three TPC benchmarks (the paper's conclusion: "ADDICT can benefit any
 // application that ... [has] concurrent requests executing a series of
-// actions from a predefined set").
-func NewCustom(name string, m *storage.Manager, seed int64, types []TxnSpec) *Benchmark {
-	return newBenchmark(name, m, rand.New(rand.NewSource(seed)), types)
+// actions from a predefined set"). The specs are validated up front: an
+// empty type list, a missing Run, a duplicate or empty name, a negative
+// weight, or an all-zero weight total would otherwise surface later as a
+// NaN mix or a panic mid-generation.
+func NewCustom(name string, m *storage.Manager, seed int64, types []TxnSpec) (*Benchmark, error) {
+	if err := validateTypes(name, types); err != nil {
+		return nil, err
+	}
+	return newBenchmark(name, m, rand.New(rand.NewSource(seed)), types), nil
+}
+
+// validateTypes rejects transaction-spec lists the mix machinery cannot
+// serve. TPC builders bypass it (their specs are compile-time constants);
+// every user-supplied path goes through it.
+func validateTypes(name string, types []TxnSpec) error {
+	if len(types) == 0 {
+		return fmt.Errorf("workload %s: no transaction types", name)
+	}
+	seen := make(map[string]bool, len(types))
+	total := 0.0
+	for i, t := range types {
+		if t.Name == "" {
+			return fmt.Errorf("workload %s: type %d has no name", name, i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("workload %s: duplicate type name %q", name, t.Name)
+		}
+		seen[t.Name] = true
+		if t.Run == nil {
+			return fmt.Errorf("workload %s: type %q has no Run", name, t.Name)
+		}
+		if t.Weight < 0 {
+			return fmt.Errorf("workload %s: type %q has negative weight %v", name, t.Name, t.Weight)
+		}
+		total += t.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload %s: mix weights sum to %v, want > 0", name, total)
+	}
+	return nil
 }
 
 func newBenchmark(name string, m *storage.Manager, rng *rand.Rand, types []TxnSpec) *Benchmark {
