@@ -1,0 +1,29 @@
+#!/bin/sh
+# cancel-smoke.sh <binary> [args...] — the cancellation smoke check: start
+# the command, let it get into its pipeline, SIGINT it, and assert it exits
+# non-zero within 2 seconds (the context-cancellation acceptance bound for
+# every addict command).
+set -u
+
+"$@" >/dev/null 2>&1 &
+pid=$!
+sleep 1
+if ! kill -INT "$pid" 2>/dev/null; then
+    echo "cancel-smoke: $1 exited before SIGINT (expected a long-running pipeline)" >&2
+    exit 1
+fi
+# Millisecond timing (GNU date): whole-second arithmetic would admit up
+# to ~3s through a 2-second bound.
+start=$(date +%s%3N)
+wait "$pid"
+status=$?
+elapsed=$(($(date +%s%3N) - start))
+if [ "$status" -eq 0 ]; then
+    echo "cancel-smoke: $1 exited 0 after SIGINT, want non-zero" >&2
+    exit 1
+fi
+if [ "$elapsed" -gt 2000 ]; then
+    echo "cancel-smoke: $1 took ${elapsed}ms to exit after SIGINT, want <= 2s" >&2
+    exit 1
+fi
+echo "cancel-smoke: $1 exited $status after ${elapsed}ms"

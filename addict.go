@@ -8,15 +8,26 @@
 // the multicore timing simulator — behind a small facade. The typical
 // pipeline is:
 //
-//	w := addict.NewTPCC(42, 1.0)                 // build + populate
-//	profSet := addict.GenerateTraces(w, 1000)    // the "first 1000" traces
-//	prof := addict.FindMigrationPoints(profSet)  // Algorithm 1
-//	evalSet := addict.GenerateTraces(w, 1000)    // the "next 1000"
-//	res, _ := addict.Schedule(addict.ADDICT, evalSet, addict.Options{Profile: prof})
-//	base, _ := addict.Schedule(addict.Baseline, evalSet, addict.Options{})
+//	eng := addict.NewEngine(addict.WithTraceWindows(1000, 1000, 10000))
+//	ctx := context.Background()
+//	base, _ := eng.Schedule(ctx, addict.Baseline, "TPC-C")
+//	res, _ := eng.Schedule(ctx, addict.ADDICT, "TPC-C") // profiles, then replays
 //	fmt.Printf("L1-I MPKI: %.2f -> %.2f\n",
 //		base.Machine.MPKI(base.Machine.L1IMisses),
 //		res.Machine.MPKI(res.Machine.L1IMisses))
+//
+// # Sessions and cancellation
+//
+// Engine is the package's session type: one long-lived artifact cache
+// (trace windows, Algorithm 1 profiles, per-mechanism replay results)
+// serving many requests, built once with functional options (WithWorkers,
+// WithMachine, WithSeed, WithScale, WithTraceWindows, WithProgress). Every
+// Engine method is context-first and cancellable between work items —
+// generation shards, sweep units, bench cells, experiment sections — so a
+// Ctrl-C (via signal.NotifyContext, as all four cmds wire it) unwinds a
+// pipeline promptly with a clean partial result. The v1 free functions
+// remain as deprecated wrappers, each building a throwaway session per
+// call; DESIGN.md §8 has the v1→v2 migration table.
 //
 // # Parallel experiment engine
 //
@@ -61,15 +72,14 @@
 package addict
 
 import (
-	"fmt"
+	"context"
 	"io"
-	"runtime"
+	"sort"
 
 	"addict/internal/bench"
 	"addict/internal/codemap"
 	"addict/internal/core"
 	"addict/internal/exp"
-	"addict/internal/pool"
 	"addict/internal/power"
 	"addict/internal/sched"
 	"addict/internal/sim"
@@ -149,14 +159,18 @@ func NewTPCC(seed int64, scale float64) *Workload { return workload.NewTPCC(seed
 // customers, 20k initial trades).
 func NewTPCE(seed int64, scale float64) *Workload { return workload.NewTPCE(seed, scale) }
 
-// NewWorkload looks up a benchmark builder by name ("TPC-B", "TPC-C",
-// "TPC-E").
+// NewWorkload resolves a benchmark by name through the workload registry:
+// the TPC names ("TPC-B", "TPC-C", "TPC-E") and any registered encoded
+// name space — today the synthetic workloads
+// ("synth:<preset>[+z<theta>][+w<frac>][+h<keys>]"). One registry backs
+// every by-name consumer (sweep grids, bench configs, cmd/tracegen, this
+// facade), so a name accepted anywhere is accepted everywhere.
 func NewWorkload(name string, seed int64, scale float64) (*Workload, error) {
-	build, err := workload.Builder(name)
+	r, err := workload.Resolve(name)
 	if err != nil {
 		return nil, err
 	}
-	return build(seed, scale), nil
+	return r.Build(seed, scale)
 }
 
 // NewStorageManager returns a storage manager on the standard code layout,
@@ -212,31 +226,32 @@ func SynthBenchmark(spec SynthSpec, seed int64, scale float64) (*Workload, error
 // every worker count — the same contract as GenerateTracesSharded, with
 // phase schedules following the absolute trace index so multi-phase specs
 // shard deterministically too.
+//
+// Deprecated: use Engine.SynthTraces, which adds cancellation and session
+// artifact reuse. This wrapper builds a throwaway session per call.
 func GenerateSynthTracesSharded(spec SynthSpec, seed int64, scale float64, n, workers int) (*TraceSet, error) {
-	return synth.GenerateSetSharded(spec, seed, scale, 0, n, workload.DefaultShardSize, normWorkers(workers))
+	e := NewEngine(WithSeed(seed), WithScale(scale), WithWorkers(workers))
+	return e.SynthTraces(context.Background(), spec, n)
 }
 
 // GenerateTraces collects n transaction traces from the workload.
 func GenerateTraces(w *Workload, n int) *TraceSet { return workload.GenerateSet(w, n) }
 
-// GenerateTracesSharded generates n traces of the named benchmark ("TPC-B",
-// "TPC-C", "TPC-E") as independent warm-started shards on up to `workers`
-// goroutines (workers < 1 selects runtime.GOMAXPROCS(0), like every
-// parallel entry point of this package). The result is byte-identical for
-// every worker count: shard s is seeded deterministically from (seed, s)
-// by a splittable PRNG and populates its own database, so shards neither
-// share state nor depend on completion order.
+// GenerateTracesSharded generates n traces of a registry workload name
+// ("TPC-B", "TPC-C", "TPC-E", or an encoded "synth:" name) as independent
+// warm-started shards on up to `workers` goroutines (workers < 1 selects
+// runtime.GOMAXPROCS(0), like every parallel entry point of this package).
+// The result is byte-identical for every worker count: shard s is seeded
+// deterministically from (seed, s) by a splittable PRNG and populates its
+// own database, so shards neither share state nor depend on completion
+// order.
+//
+// Deprecated: use Engine.GenerateTraces, which adds cancellation and
+// session artifact reuse. This wrapper builds a throwaway session per
+// call.
 func GenerateTracesSharded(name string, seed int64, scale float64, n, workers int) (*TraceSet, error) {
-	return workload.GenerateSetSharded(name, seed, scale, 0, n, workload.DefaultShardSize, normWorkers(workers))
-}
-
-// normWorkers applies the package-wide worker-count convention: values
-// below 1 select runtime.GOMAXPROCS(0).
-func normWorkers(workers int) int {
-	if workers < 1 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return workers
+	e := NewEngine(WithSeed(seed), WithScale(scale), WithWorkers(workers))
+	return e.GenerateTraces(context.Background(), name, n)
 }
 
 // StreamTraces generates n traces one at a time without retaining them —
@@ -288,20 +303,12 @@ func Schedule(mech Mechanism, s *TraceSet, opts Options) (Result, error) {
 // the shared read-only trace set and profile, so the results are identical
 // to four serial Schedule calls. Options.Profile is required (ADDICT needs
 // its migration points).
+//
+// Deprecated: use Engine.ScheduleSet (for caller-supplied sets) or
+// Engine.ScheduleAll (for session-cached workload windows), which add
+// cancellation. This wrapper builds a throwaway session per call.
 func ScheduleAll(s *TraceSet, opts Options, workers int) (map[Mechanism]Result, error) {
-	results := make([]Result, len(Mechanisms))
-	errs := make([]error, len(Mechanisms))
-	pool.Run(normWorkers(workers), len(Mechanisms), func(i int) {
-		results[i], errs[i] = Schedule(Mechanisms[i], s, opts)
-	})
-	out := make(map[Mechanism]Result, len(Mechanisms))
-	for i, mech := range Mechanisms {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("addict: %s: %w", mech, errs[i])
-		}
-		out[mech] = results[i]
-	}
-	return out, nil
+	return NewEngine(WithWorkers(workers)).ScheduleSet(context.Background(), s, opts)
 }
 
 // AnalyzePower computes the activity-based power report of a run.
@@ -314,43 +321,69 @@ func DefaultExperimentParams() ExperimentParams { return exp.DefaultParams() }
 // QuickExperimentParams returns a reduced setup for fast runs.
 func QuickExperimentParams() ExperimentParams { return exp.QuickParams() }
 
+// NewEngineFromParams translates an explicit evaluation-parameter struct
+// into a session — the bridge for callers that already hold an
+// ExperimentParams (the cmds, the deprecated experiment wrappers). Every
+// field is taken verbatim — including a zero StabilityTraces, which
+// WithTraceWindows would otherwise default — so the session reproduces
+// the parameter struct's v1 behavior exactly.
+func NewEngineFromParams(p ExperimentParams, workers int) *Engine {
+	e := NewEngine(
+		WithSeed(p.Seed), WithScale(p.Scale),
+		WithTraceWindows(p.ProfileTraces, p.EvalTraces, p.StabilityTraces),
+		WithMachine(p.Machine), WithWorkers(workers))
+	e.stabilityTraces = p.StabilityTraces
+	return e
+}
+
 // RunAllExperiments regenerates every table and figure of the paper's
 // evaluation serially, writing the report to out.
-func RunAllExperiments(out io.Writer, p ExperimentParams) { exp.RunAll(out, p) }
+//
+// Deprecated: use Engine.Experiments, which adds cancellation and session
+// artifact reuse. This wrapper builds a throwaway single-worker session
+// per call; the output is byte-identical.
+func RunAllExperiments(out io.Writer, p ExperimentParams) {
+	_ = NewEngineFromParams(p, 1).Experiments(context.Background(), out)
+}
 
 // RunAllExperimentsParallel regenerates the full report on a bounded worker
 // pool (workers < 1 selects runtime.GOMAXPROCS(0)). The output is
 // byte-identical to RunAllExperiments: independent experiment units run
 // concurrently, each renderer buffers its output, and the buffers are
 // emitted in the serial presentation order.
+//
+// Deprecated: use Engine.Experiments. This wrapper builds a throwaway
+// session per call.
 func RunAllExperimentsParallel(out io.Writer, p ExperimentParams, workers int) {
-	exp.RunAllParallel(out, p, workers)
+	_ = NewEngineFromParams(p, workers).Experiments(context.Background(), out)
 }
 
 // RunExperiment runs a single experiment by id ("table1", "fig1" ...
-// "fig9", "ablations") serially.
+// "fig9", "ablations", "synthchar") serially.
+//
+// Deprecated: use Engine.Experiments with an explicit id list. This
+// wrapper builds a throwaway single-worker session per call.
 func RunExperiment(id string, out io.Writer, p ExperimentParams) error {
-	return RunExperimentParallel(id, out, p, 1)
+	return NewEngineFromParams(p, 1).Experiments(context.Background(), out, id)
 }
 
 // RunExperimentParallel runs a single experiment by id with up to `workers`
 // goroutines of generation/replay parallelism (workers < 1 selects
 // runtime.GOMAXPROCS(0)). Output is identical to the serial run.
+//
+// Deprecated: use Engine.Experiments with an explicit id list. This
+// wrapper builds a throwaway session per call.
 func RunExperimentParallel(id string, out io.Writer, p ExperimentParams, workers int) error {
-	run, ok := exp.Experiments[id]
-	if !ok {
-		return fmt.Errorf("addict: unknown experiment %q", id)
-	}
-	run(out, p, workers)
-	return nil
+	return NewEngineFromParams(p, workers).Experiments(context.Background(), out, id)
 }
 
-// ExperimentIDs lists the available experiment ids.
+// ExperimentIDs lists the available experiment ids, sorted.
 func ExperimentIDs() []string {
 	ids := make([]string, 0, len(exp.Experiments))
 	for id := range exp.Experiments {
 		ids = append(ids, id)
 	}
+	sort.Strings(ids)
 	return ids
 }
 
@@ -376,12 +409,12 @@ var SweepFormats = sweep.Formats
 // streams results to out in the given format, in grid-expansion order. The
 // output is byte-identical for every worker count — the same determinism
 // contract as the figure pipeline, which shares this execution path.
+//
+// Deprecated: use Engine.Sweep, which adds cancellation and session
+// artifact reuse across repeated sweeps. This wrapper builds a throwaway
+// session per call.
 func RunSweep(out io.Writer, spec SweepSpec, format string, workers int) error {
-	em, err := sweep.NewEmitter(format, out)
-	if err != nil {
-		return err
-	}
-	return sweep.Run(spec, em, normWorkers(workers))
+	return NewEngine(WithWorkers(workers)).Sweep(context.Background(), out, spec, format)
 }
 
 // ExpandSweep resolves a sweep grid into its units without running them —
@@ -408,8 +441,12 @@ func DefaultBenchConfig() BenchConfig { return bench.DefaultConfig() }
 
 // RunBench executes the replay-core benchmark harness, streaming one
 // progress line per cell to progress when non-nil.
+//
+// Deprecated: use Engine.Bench (with WithProgress for the per-cell
+// lines), which adds cancellation and session artifact reuse. This
+// wrapper builds a throwaway session per call.
 func RunBench(cfg BenchConfig, progress io.Writer) (*BenchReport, error) {
-	return bench.Run(cfg, progress)
+	return NewEngine(WithProgress(progress)).Bench(context.Background(), cfg)
 }
 
 // CompareBench pairs a current report with a recorded baseline (nil for

@@ -1,6 +1,7 @@
 package addict_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestScheduleAllMatchesSerialSchedule(t *testing.T) {
 	evalSet := addict.GenerateTraces(w, 60)
 	opts := addict.Options{Profile: prof}
 
-	all, err := addict.ScheduleAll(evalSet, opts, 4)
+	all, err := addict.NewEngine(addict.WithWorkers(4)).ScheduleSet(context.Background(), evalSet, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,20 +92,25 @@ func TestScheduleAllMatchesSerialSchedule(t *testing.T) {
 func TestScheduleAllRequiresProfile(t *testing.T) {
 	w := addict.NewTPCB(3, 0.05)
 	set := addict.GenerateTraces(w, 20)
-	if _, err := addict.ScheduleAll(set, addict.Options{}, 2); err == nil {
-		t.Error("ScheduleAll without a profile must fail (ADDICT needs migration points)")
+	if _, err := addict.NewEngine(addict.WithWorkers(2)).ScheduleSet(context.Background(), set, addict.Options{}); err == nil {
+		t.Error("ScheduleSet without a profile must fail (ADDICT needs migration points)")
 	}
 }
 
 // TestGenerateTracesShardedWorkerIndependent checks the public sharded
 // generator end to end.
 func TestGenerateTracesShardedWorkerIndependent(t *testing.T) {
-	ref, err := addict.GenerateTracesSharded("TPC-B", 11, 0.05, 30, 1)
+	ctx := context.Background()
+	gen := func(workers int) (*addict.TraceSet, error) {
+		e := addict.NewEngine(addict.WithSeed(11), addict.WithScale(0.05), addict.WithWorkers(workers))
+		return e.GenerateTraces(ctx, "TPC-B", 30)
+	}
+	ref, err := gen(1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8} {
-		s, err := addict.GenerateTracesSharded("TPC-B", 11, 0.05, 30, workers)
+		s, err := gen(workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +118,7 @@ func TestGenerateTracesShardedWorkerIndependent(t *testing.T) {
 			t.Errorf("sharded generation digest with %d workers differs from serial", workers)
 		}
 	}
-	if _, err := addict.GenerateTracesSharded("nope", 1, 1, 10, 2); err == nil {
+	if _, err := addict.NewEngine().GenerateTraces(ctx, "nope", 10); err == nil {
 		t.Error("unknown workload must error")
 	}
 }

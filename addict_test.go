@@ -2,6 +2,7 @@ package addict_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -117,11 +118,14 @@ func TestSynthFacade(t *testing.T) {
 		t.Fatalf("got %q with %d traces", set.Workload, len(set.Traces))
 	}
 
-	serial, err := addict.GenerateSynthTracesSharded(spec, 7, 0.02, 30, 1)
+	ctx := context.Background()
+	serial, err := addict.NewEngine(addict.WithSeed(7), addict.WithScale(0.02),
+		addict.WithWorkers(1)).SynthTraces(ctx, spec, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := addict.GenerateSynthTracesSharded(spec, 7, 0.02, 30, 4)
+	parallel, err := addict.NewEngine(addict.WithSeed(7), addict.WithScale(0.02),
+		addict.WithWorkers(4)).SynthTraces(ctx, spec, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,16 +169,15 @@ func TestTraceCodecRoundtripPublic(t *testing.T) {
 
 func TestRunExperimentByID(t *testing.T) {
 	var sb strings.Builder
-	p := addict.QuickExperimentParams()
-	p.Scale = 0.05
-	p.ProfileTraces = 50
-	if err := addict.RunExperiment("table1", &sb, p); err != nil {
+	ctx := context.Background()
+	eng := addict.NewEngine(addict.WithScale(0.05), addict.WithTraceWindows(50, 250, 0))
+	if err := eng.Experiments(ctx, &sb, "table1"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Table 1") {
 		t.Error("table1 output missing header")
 	}
-	if err := addict.RunExperiment("nope", &sb, p); err == nil {
+	if err := eng.Experiments(ctx, &sb, "nope"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 	if len(addict.ExperimentIDs()) < 12 {

@@ -10,6 +10,7 @@
 package addict_test
 
 import (
+	"context"
 	"io"
 	"os"
 	"runtime"
@@ -198,7 +199,8 @@ func BenchmarkRunAllParallel(b *testing.B) {
 // sharded generator at full pool width.
 func BenchmarkTraceGenerationSharded(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		set, err := addict.GenerateTracesSharded("TPC-B", 1, 0.25, 256, runtime.GOMAXPROCS(0))
+		set, err := addict.NewEngine(addict.WithSeed(1), addict.WithScale(0.25)).
+			GenerateTraces(context.Background(), "TPC-B", 256)
 		if err != nil {
 			b.Fatalf("sharded generation failed: %v", err)
 		}

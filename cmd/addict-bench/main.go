@@ -24,18 +24,23 @@
 // the events/sec speedup against it. -max-regress turns the harness into
 // the CI regression gate: the run fails when events/sec drops more than
 // the given fraction below the baseline.
+//
+// Ctrl-C cancels either mode between work items: the full report flushes
+// the sections already rendered as a clean partial report, the harness
+// aborts without writing a (non-comparable) partial JSON, and the process
+// exits with a non-zero status.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sort"
 	"time"
 
 	"addict"
+	"addict/cmd/internal/sigctx"
 )
 
 func main() {
@@ -45,7 +50,7 @@ func main() {
 		traces     = flag.Int("traces", 0, "override profiling/evaluation trace counts")
 		scale      = flag.Float64("scale", 0, "override database scale factor")
 		seed       = flag.Int64("seed", 0, "override workload seed")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the full report (1 = serial; output is identical)")
+		parallel   = flag.Int("parallel", 0, "worker-pool size for the full report (<1 = all CPUs, 1 = serial; output is identical)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut    = flag.String("json", "", "run the replay benchmark harness and write the JSON report to this file (- = stdout)")
 		baseline   = flag.String("baseline", "", "previous BENCH_*.json (or bare report) to embed and compute the speedup against (with -json)")
@@ -53,8 +58,19 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the run between work items (generation shards, bench
+	// cells, experiment sections): the sections already rendered flush as
+	// a clean partial report and the process exits non-zero, promptly —
+	// the watchdog bound stays inside the 2-second acceptance budget even
+	// when an indivisible item (a full-scale replay) is in flight.
+	ctx, stop := sigctx.Context(1500 * time.Millisecond)
+	defer stop()
+
 	if *jsonOut != "" {
-		if err := runBenchHarness(*jsonOut, *baseline, *maxRegress, *traces, *scale, *seed); err != nil {
+		if err := runBenchHarness(ctx, *jsonOut, *baseline, *maxRegress, *traces, *scale, *seed); err != nil {
+			if ctx.Err() != nil {
+				sigctx.Exit("addict-bench")
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -66,9 +82,7 @@ func main() {
 	}
 
 	if *list {
-		ids := addict.ExperimentIDs()
-		sort.Strings(ids)
-		for _, id := range ids {
+		for _, id := range addict.ExperimentIDs() {
 			fmt.Println(id)
 		}
 		return
@@ -90,18 +104,28 @@ func main() {
 		p.Seed = *seed
 	}
 
+	eng := addict.NewEngineFromParams(p, *parallel)
+
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
 	start := time.Now()
+	var ids []string
 	if *expID != "" {
-		if err := addict.RunExperimentParallel(*expID, out, p, *parallel); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	} else {
-		addict.RunAllExperimentsParallel(out, p, *parallel)
+		ids = []string{*expID}
 	}
-	fmt.Fprintf(out, "\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	err := eng.Experiments(ctx, out, ids...)
+	if err == nil {
+		fmt.Fprintf(out, "\n(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			sigctx.Exit("addict-bench")
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // runBenchHarness runs the internal/bench replay harness and writes the
@@ -109,7 +133,7 @@ func main() {
 // A non-zero maxRegress turns the run into a regression gate: it fails
 // when the current events/sec falls more than that fraction below the
 // baseline's.
-func runBenchHarness(jsonOut, baselinePath string, maxRegress float64, traces int, scale float64, seed int64) error {
+func runBenchHarness(ctx context.Context, jsonOut, baselinePath string, maxRegress float64, traces int, scale float64, seed int64) error {
 	if maxRegress < 0 || maxRegress >= 1 {
 		return fmt.Errorf("-max-regress %v outside [0, 1)", maxRegress)
 	}
@@ -143,7 +167,11 @@ func runBenchHarness(jsonOut, baselinePath string, maxRegress float64, traces in
 	}
 
 	start := time.Now()
-	rep, err := addict.RunBench(cfg, os.Stderr)
+	eng := addict.NewEngine(
+		addict.WithSeed(cfg.Seed), addict.WithScale(cfg.Scale),
+		addict.WithTraceWindows(cfg.ProfileTraces, cfg.EvalTraces, 0),
+		addict.WithProgress(os.Stderr))
+	rep, err := eng.Bench(ctx, cfg)
 	if err != nil {
 		return err
 	}

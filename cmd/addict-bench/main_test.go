@@ -2,11 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"addict/cmd/internal/cmdtest"
 )
@@ -67,8 +70,8 @@ func TestBenchJSON(t *testing.T) {
 	if file.Current.Replay.EventsPerSec <= 0 || file.Current.Replay.Events == 0 {
 		t.Fatalf("degenerate replay summary: %s", data)
 	}
-	if got, want := len(file.Current.Cells), 3*4; got != want {
-		t.Fatalf("%d cells, want %d (3 workloads × 4 mechanisms)", got, want)
+	if got, want := len(file.Current.Cells), 5*4; got != want {
+		t.Fatalf("%d cells, want %d (3 TPC + 2 synth workloads × 4 mechanisms)", got, want)
 	}
 	if file.Speedup != 0 {
 		t.Fatalf("speedup recorded without a baseline: %v", file.Speedup)
@@ -160,5 +163,34 @@ func TestMaxRegressGate(t *testing.T) {
 	}
 	if err := exec.Command(exe, "-json", filepath.Join(dir, "x.json"), "-max-regress", "0.15").Run(); err == nil {
 		t.Error("-max-regress without -baseline accepted")
+	}
+}
+
+// TestInterruptExitsPromptly: SIGINT on the full default-size report must
+// exit non-zero within the 2-second acceptance bound, flushing whatever
+// sections had already streamed.
+func TestInterruptExitsPromptly(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGINT delivery on windows")
+	}
+	exe := cmdtest.Build(t)
+	cmd := exec.Command(exe, "-parallel", "2")
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := cmd.Wait()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Error("interrupted report exited 0, want non-zero")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("interrupted report took %v to exit, want <= 2s", elapsed)
 	}
 }

@@ -16,7 +16,9 @@
 // "name=v1,v2,...". Sizes take K/M suffixes. The -spec flag loads a full
 // sweep.Spec as JSON; -grid entries overlay it. Base parameters (seed,
 // scale, trace counts) default to the quick evaluation sizes and are
-// overridable by flags.
+// overridable by flags. Ctrl-C cancels the sweep between units: the rows
+// already computed flush as a clean partial table and the command exits
+// with a non-zero status.
 package main
 
 import (
@@ -26,11 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"addict"
+	"addict/cmd/internal/sigctx"
 )
 
 // axisHelp documents every -grid axis.
@@ -57,7 +60,7 @@ func main() {
 		grid     = flag.String("grid", "", "compact grid spec: 'axis=v1,v2;axis=v1' (see -axes)")
 		specPath = flag.String("spec", "", "JSON sweep spec file (grid axes overlay it)")
 		format   = flag.String("format", "table", "output format: table, csv, or jsonl")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial; output is identical)")
+		parallel = flag.Int("parallel", 0, "worker-pool size (<1 = all CPUs, 1 = serial; output is identical)")
 		seed     = flag.Int64("seed", 0, "override workload seed")
 		scale    = flag.Float64("scale", 0, "override database scale factor")
 		traces   = flag.Int("traces", 0, "override profiling/evaluation trace counts")
@@ -109,14 +112,25 @@ func main() {
 		spec.Deep = true
 	}
 
+	// Ctrl-C cancels the sweep between units: the rows already emitted
+	// flush as a clean partial table and the process exits non-zero,
+	// promptly (a watchdog forces the exit if cooperative unwinding
+	// overruns the grace period).
+	ctx, stop := sigctx.Context(time.Second)
+	defer stop()
+
+	eng := addict.NewEngine(addict.WithWorkers(*parallel))
 	out := bufio.NewWriter(os.Stdout)
-	if err := addict.RunSweep(out, spec, *format, *parallel); err != nil {
-		out.Flush()
-		fatal(err)
-	}
+	err := eng.Sweep(ctx, out, spec, *format)
 	// A failed flush (full disk, closed pipe) must not exit 0 with a
 	// truncated sweep.
-	if err := out.Flush(); err != nil {
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			sigctx.Exit("addict-sweep")
+		}
 		fatal(err)
 	}
 }

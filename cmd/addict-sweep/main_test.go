@@ -1,8 +1,13 @@
 package main
 
 import (
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"addict/cmd/internal/cmdtest"
 )
@@ -71,5 +76,39 @@ func TestSynthGridByteIdentity(t *testing.T) {
 		if got != ref {
 			t.Errorf("-parallel %s output diverges from serial", par)
 		}
+	}
+}
+
+// TestInterruptExitsPromptly is the cancellation acceptance criterion at
+// the process level: SIGINT on a large in-flight grid must exit with a
+// non-zero status within 2 seconds (the CI cancel-smoke step re-checks the
+// same contract on the installed binaries).
+func TestInterruptExitsPromptly(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGINT delivery on windows")
+	}
+	exe := cmdtest.Build(t)
+	// A grid far too large to finish: cancellation, not completion, ends it.
+	cmd := exec.Command(exe,
+		"-grid", "l1i=8K,16K,32K,64K; cores=4,8,16; threads=2,4,8,16",
+		"-traces", "400", "-scale", "1.0")
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let it get into trace generation before interrupting.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := cmd.Wait()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Error("interrupted sweep exited 0, want non-zero")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("interrupted sweep took %v to exit, want <= 2s", elapsed)
 	}
 }

@@ -17,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"addict"
+	"addict/cmd/internal/sigctx"
 )
 
 func main() {
@@ -35,6 +37,11 @@ func main() {
 	p.ProfileTraces = *traces
 	p.Scale = *scale
 	p.Seed = *seed
+
+	// Ctrl-C cancels the characterization between artifact computations:
+	// the figures already rendered flush and the process exits non-zero.
+	ctx, stop := sigctx.Context(time.Second)
+	defer stop()
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
@@ -53,10 +60,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, id := range ids {
-		if err := addict.RunExperiment(id, out, p); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	eng := addict.NewEngineFromParams(p, 1)
+	if err := eng.Experiments(ctx, out, ids...); err != nil {
+		if ctx.Err() != nil {
+			out.Flush()
+			sigctx.Exit("characterize")
 		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

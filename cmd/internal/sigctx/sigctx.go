@@ -1,0 +1,57 @@
+// Package sigctx wires signal.NotifyContext for this module's commands:
+// one context every long-running pipeline threads end to end, cancelled on
+// SIGINT/SIGTERM so Ctrl-C unwinds cooperatively — flushing a clean
+// partial report — and exits with a non-zero status.
+package sigctx
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ExitCode is the status a signal-cancelled command exits with (the shell
+// convention for SIGINT, 128+2).
+const ExitCode = 130
+
+// Context returns a context cancelled by SIGINT or SIGTERM, plus its stop
+// function (call it on the normal completion path to release the signal
+// registration).
+//
+// After the first signal the process gets `grace` of wall clock to unwind
+// cooperatively; if it is still alive then — a pipeline stuck inside an
+// indivisible work item — or a second signal arrives, a watchdog
+// goroutine hard-exits with ExitCode. The watchdog arms only on a real
+// signal, so normal completion never races it.
+func Context(grace time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs // blocks forever unless a signal actually arrives
+		select {
+		case <-time.After(grace):
+			fmt.Fprintln(os.Stderr, "interrupted: grace period elapsed, forcing exit")
+		case <-sigs:
+			fmt.Fprintln(os.Stderr, "interrupted twice, forcing exit")
+		}
+		os.Exit(ExitCode)
+	}()
+	return ctx, func() {
+		// Release the watchdog's registration too, restoring the default
+		// signal disposition: a Ctrl-C after the pipeline completes kills
+		// the process immediately instead of arming the grace timer.
+		signal.Stop(sigs)
+		stop()
+	}
+}
+
+// Exit reports a cancelled pipeline and exits with ExitCode. Call it when
+// a pipeline returns ctx's error after a signal.
+func Exit(name string) {
+	fmt.Fprintln(os.Stderr, name+": interrupted")
+	os.Exit(ExitCode)
+}

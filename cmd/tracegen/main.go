@@ -14,9 +14,11 @@
 //
 // -synth accepts a shipped preset name ("zipf-hot-rw"), an encoded
 // workload name with overrides ("synth:<preset>[+z<theta>][+w<frac>]
-// [+h<keys>]"), or a path to a spec JSON file (see SynthSpec). Synthetic
-// generation is sharded: the output is byte-identical for every -parallel
-// value.
+// [+h<keys>]"), or a path to a spec JSON file (see SynthSpec). -workload
+// resolves through the one workload-name registry, so encoded synth:...
+// names work there too. All generation is sharded: the output is
+// byte-identical for every -parallel value, and Ctrl-C cancels between
+// shards with a non-zero exit instead of writing a truncated file.
 package main
 
 import (
@@ -25,21 +27,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
 	"addict"
+	"addict/cmd/internal/sigctx"
 )
 
 func main() {
 	var (
-		name     = flag.String("workload", "TPC-C", "benchmark: TPC-B, TPC-C, or TPC-E")
+		name     = flag.String("workload", "TPC-C", "workload name: TPC-B, TPC-C, TPC-E, or an encoded synth:... name")
 		synth    = flag.String("synth", "", "synthetic workload: preset name, synth:... name, or spec JSON file (overrides -workload)")
 		n        = flag.Int("n", 1000, "number of transaction traces")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		scale    = flag.Float64("scale", 1.0, "database scale factor")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for sharded synthetic generation (1 = serial; output is identical)")
+		parallel = flag.Int("parallel", 0, "worker-pool size for sharded generation (<1 = all CPUs, 1 = serial; output is identical)")
 		out      = flag.String("o", "", "output file (default: stdout)")
 		presets  = flag.Bool("synth-presets", false, "list synthetic presets and exit")
 	)
@@ -52,6 +54,13 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels generation between shards and exits non-zero without
+	// writing a truncated trace file.
+	ctx, stop := sigctx.Context(time.Second)
+	defer stop()
+	eng := addict.NewEngine(addict.WithSeed(*seed), addict.WithScale(*scale),
+		addict.WithWorkers(*parallel))
+
 	var (
 		set *addict.TraceSet
 		err error
@@ -61,16 +70,17 @@ func main() {
 		var spec addict.SynthSpec
 		spec, err = loadSynthSpec(*synth)
 		if err == nil {
-			set, err = addict.GenerateSynthTracesSharded(spec, *seed, *scale, *n, *parallel)
+			set, err = eng.SynthTraces(ctx, spec, *n)
 		}
 	} else {
-		var w *addict.Workload
-		w, err = addict.NewWorkload(*name, *seed, *scale)
-		if err == nil {
-			set = addict.GenerateTraces(w, *n)
-		}
+		// The workload registry resolves both name spaces, so -workload
+		// accepts encoded synthetic names too.
+		set, err = eng.GenerateTraces(ctx, *name, *n)
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			sigctx.Exit("tracegen")
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,295 @@
+package addict
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"addict/internal/bench"
+	"addict/internal/exp"
+	"addict/internal/pool"
+	"addict/internal/sim"
+	"addict/internal/sweep"
+	"addict/internal/workload"
+	"addict/internal/workload/synth"
+)
+
+// Engine is a long-lived ADDICT session: one artifact cache (trace
+// windows, migration-point profiles, per-mechanism replay results) serving
+// many requests — the paper's own split of a static "a priori" Step 1
+// feeding a serving phase (Section 3.1.3), lifted to the API. Construct it
+// once with functional options, then call its methods from any number of
+// goroutines: every artifact is computed once (single-flight) and shared,
+// so repeated Traces/Profile/Schedule/Sweep/Bench calls reuse work instead
+// of regenerating it.
+//
+// Every method takes a context.Context and honors cancellation between
+// work items (trace-generation shards, sweep units, bench cells,
+// experiment sections). A cancelled computation is evicted from the cache,
+// not stored, so one aborted request never poisons the session.
+//
+// The zero-argument session (NewEngine()) uses the quick evaluation sizes
+// — seed 42, scale 0.5, 250-trace profiling and evaluation windows, the
+// Table 1 machine, all CPUs — matching the sweep and bench defaults, so an
+// Engine, a sweep grid, and the bench harness share one cache out of the
+// box.
+type Engine struct {
+	seed            int64
+	scale           float64
+	profileTraces   int
+	evalTraces      int
+	stabilityTraces int
+	workers         int
+	machine         MachineConfig
+	progress        io.Writer
+
+	wb *sweep.Workbench
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithWorkers bounds the session's generation and replay parallelism
+// (values below 1 select runtime.GOMAXPROCS(0), the package-wide
+// convention). The worker count never affects content — only wall-clock.
+func WithWorkers(n int) EngineOption { return func(e *Engine) { e.workers = n } }
+
+// WithMachine selects the simulated hardware the session profiles and
+// replays on (default: the Table 1 machine, ShallowMachine).
+func WithMachine(m MachineConfig) EngineOption { return func(e *Engine) { e.machine = m } }
+
+// WithSeed sets the seed driving all workload randomness (default 42).
+func WithSeed(seed int64) EngineOption { return func(e *Engine) { e.seed = seed } }
+
+// WithScale sets the database scale factor (default 0.5, the quick size).
+func WithScale(scale float64) EngineOption { return func(e *Engine) { e.scale = scale } }
+
+// WithTraceWindows sizes the session's profiling and evaluation trace
+// windows (defaults 250 each, the quick sizes; the paper uses 1000 each)
+// and the stability window of the Figure 4 experiment (values <= 0 select
+// 4x the evaluation window).
+func WithTraceWindows(profile, eval, stability int) EngineOption {
+	return func(e *Engine) {
+		e.profileTraces = profile
+		e.evalTraces = eval
+		e.stabilityTraces = stability
+	}
+}
+
+// WithProgress directs per-cell progress lines of long pipelines (the
+// bench harness) to w (default: discarded).
+func WithProgress(w io.Writer) EngineOption { return func(e *Engine) { e.progress = w } }
+
+// NewEngine constructs a session. The zero-argument form selects the quick
+// evaluation sizes; see the Engine documentation.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{
+		seed:          42,
+		scale:         0.5,
+		profileTraces: 250,
+		evalTraces:    250,
+		machine:       sim.Shallow(),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.workers = pool.NormWorkers(e.workers)
+	if e.stabilityTraces <= 0 {
+		e.stabilityTraces = 4 * e.evalTraces
+	}
+	arts := sweep.NewArtifacts(e.seed, e.scale, e.profileTraces, e.evalTraces, e.workers)
+	e.wb = sweep.NewWorkbench(arts, e.machine)
+	return e
+}
+
+// Seed returns the session seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Scale returns the session database scale factor.
+func (e *Engine) Scale() float64 { return e.scale }
+
+// Workers returns the session's resolved worker bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Machine returns the session's simulated hardware.
+func (e *Engine) Machine() MachineConfig { return e.machine }
+
+// ExperimentParams returns the session parameters as an evaluation-harness
+// setup — what Experiments runs with.
+func (e *Engine) ExperimentParams() ExperimentParams {
+	return exp.Params{
+		Seed:            e.seed,
+		Scale:           e.scale,
+		ProfileTraces:   e.profileTraces,
+		EvalTraces:      e.evalTraces,
+		StabilityTraces: e.stabilityTraces,
+		Machine:         e.machine,
+	}
+}
+
+// Traces returns the session's evaluation trace window for a workload (the
+// paper's "next 1000") — cached: every call after the first returns the
+// same set. The name resolves through the workload registry: TPC names
+// ("TPC-B", "TPC-C", "TPC-E") and encoded synthetic names ("synth:...").
+func (e *Engine) Traces(ctx context.Context, workloadName string) (*TraceSet, error) {
+	return e.wb.EvalSet(ctx, workloadName)
+}
+
+// ProfilingTraces returns the session's profiling trace window (the
+// paper's "first 1000") — the disjoint window Profile learns from, cached.
+func (e *Engine) ProfilingTraces(ctx context.Context, workloadName string) (*TraceSet, error) {
+	return e.wb.ProfileSet(ctx, workloadName)
+}
+
+// Profile returns Algorithm 1's migration points for a workload over the
+// session's profiling window and machine — cached per (workload, L1-I
+// geometry).
+func (e *Engine) Profile(ctx context.Context, workloadName string) (*Profile, error) {
+	return e.wb.Profile(ctx, workloadName)
+}
+
+// Schedule replays the workload's evaluation window under a mechanism on
+// the session machine and returns the simulation result — cached per
+// (workload, mechanism), so the figures and repeated calls share one
+// replay. ADDICT's migration-point profile is computed (and cached)
+// automatically.
+func (e *Engine) Schedule(ctx context.Context, mech Mechanism, workloadName string) (Result, error) {
+	return e.wb.Result(ctx, workloadName, mech)
+}
+
+// ScheduleAll replays the workload's evaluation window under every
+// mechanism concurrently (bounded by the session workers) and returns the
+// per-mechanism results, all cached.
+func (e *Engine) ScheduleAll(ctx context.Context, workloadName string) (map[Mechanism]Result, error) {
+	return e.eachMechanism(ctx, func(mech Mechanism) (Result, error) {
+		return e.Schedule(ctx, mech, workloadName)
+	})
+}
+
+// ScheduleSet replays a caller-supplied trace set under every mechanism
+// concurrently (bounded by the session workers) — the uncached counterpart
+// of ScheduleAll for sets that did not come from this session.
+// Options.Profile is required (ADDICT needs its migration points).
+func (e *Engine) ScheduleSet(ctx context.Context, s *TraceSet, opts Options) (map[Mechanism]Result, error) {
+	return e.eachMechanism(ctx, func(mech Mechanism) (Result, error) {
+		return Schedule(mech, s, opts)
+	})
+}
+
+// eachMechanism runs one replay per mechanism on the session pool and
+// assembles the per-mechanism result map.
+func (e *Engine) eachMechanism(ctx context.Context, run func(mech Mechanism) (Result, error)) (map[Mechanism]Result, error) {
+	results := make([]Result, len(Mechanisms))
+	errs := make([]error, len(Mechanisms))
+	if err := pool.RunCtx(ctx, e.workers, len(Mechanisms), func(i int) {
+		results[i], errs[i] = run(Mechanisms[i])
+	}); err != nil {
+		return nil, err
+	}
+	out := make(map[Mechanism]Result, len(Mechanisms))
+	for i, mech := range Mechanisms {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("addict: %s: %w", mech, errs[i])
+		}
+		out[mech] = results[i]
+	}
+	return out, nil
+}
+
+// GenerateTraces generates n traces of a registry workload name under the
+// deterministic shard recipe: byte-identical for every session worker
+// count, uncached (each call generates afresh — use Traces for the
+// session's reusable evaluation window).
+func (e *Engine) GenerateTraces(ctx context.Context, workloadName string, n int) (*TraceSet, error) {
+	r, err := workload.Resolve(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return r.GenerateSharded(ctx, e.seed, e.scale, 0, n, workload.DefaultShardSize, e.workers)
+}
+
+// SynthTraces generates n traces of a synthetic-workload spec under the
+// same shard recipe as GenerateTraces (phase schedules follow the absolute
+// trace index, so multi-phase specs shard deterministically too).
+func (e *Engine) SynthTraces(ctx context.Context, spec SynthSpec, n int) (*TraceSet, error) {
+	return synth.GenerateSetShardedCtx(ctx, spec, e.seed, e.scale, 0, n, workload.DefaultShardSize, e.workers)
+}
+
+// Sweep expands a declarative grid and executes it on the session workers,
+// streaming results to out in the given format ("table", "csv", "jsonl").
+// Base parameters the spec leaves zero (seed, scale, trace windows)
+// inherit the session's, and when the resolved parameters match the
+// session's the sweep reuses the session artifact cache — repeated sweeps
+// on one Engine regenerate nothing. Cancellation stops the sweep between
+// units; the rows already emitted form a clean prefix.
+func (e *Engine) Sweep(ctx context.Context, out io.Writer, spec SweepSpec, format string) error {
+	em, err := sweep.NewEmitter(format, out)
+	if err != nil {
+		return err
+	}
+	e.inheritBase(&spec.Seed, &spec.Scale, &spec.ProfileTraces, &spec.EvalTraces)
+	var arts *sweep.Artifacts
+	if e.wb.Artifacts().Matches(spec.Seed, spec.Scale, spec.ProfileTraces, spec.EvalTraces) {
+		arts = e.wb.Artifacts()
+	}
+	return sweep.RunWith(ctx, spec, em, e.workers, arts)
+}
+
+// inheritBase fills zero-valued base parameters — the "zero means inherit
+// the session" convention Sweep and Bench share.
+func (e *Engine) inheritBase(seed *int64, scale *float64, profileTraces, evalTraces *int) {
+	if *seed == 0 {
+		*seed = e.seed
+	}
+	if *scale == 0 {
+		*scale = e.scale
+	}
+	if *profileTraces == 0 {
+		*profileTraces = e.profileTraces
+	}
+	if *evalTraces == 0 {
+		*evalTraces = e.evalTraces
+	}
+}
+
+// Bench runs the replay-core benchmark harness (cells stay strictly serial
+// so they are comparable across runs; generation uses the session workers
+// and, when the config's base parameters match the session's, the session
+// artifact cache). Zero-valued config fields — seed, scale, trace windows,
+// machine, workers — inherit the session's. Progress lines go to the
+// session's WithProgress writer.
+func (e *Engine) Bench(ctx context.Context, cfg BenchConfig) (*BenchReport, error) {
+	resolved := cfg
+	e.inheritBase(&resolved.Seed, &resolved.Scale, &resolved.ProfileTraces, &resolved.EvalTraces)
+	if resolved.Machine.Cores == 0 {
+		resolved.Machine = e.machine
+	}
+	if resolved.Workers == 0 {
+		resolved.Workers = e.workers
+	}
+	var arts *sweep.Artifacts
+	if e.wb.Artifacts().Matches(resolved.Seed, resolved.Scale, resolved.ProfileTraces, resolved.EvalTraces) {
+		arts = e.wb.Artifacts()
+	}
+	return bench.RunWith(ctx, resolved, e.progress, arts)
+}
+
+// Experiments regenerates the paper's evaluation on the session's
+// parameters and worker pool, writing the report to out. With no ids it
+// renders the full report (every table and figure, byte-identical for
+// every worker count); with ids it runs those experiments in the given
+// order ("table1", "fig1" ... "fig9", "ablations", "synthchar" — see
+// ExperimentIDs). Cancellation stops the run between experiment units and
+// leaves a clean partial report.
+func (e *Engine) Experiments(ctx context.Context, out io.Writer, ids ...string) error {
+	p := e.ExperimentParams()
+	if len(ids) == 0 {
+		return exp.RunAllParallelWith(ctx, out, p, e.workers, e.wb)
+	}
+	for _, id := range ids {
+		if err := exp.RunExperimentWith(ctx, id, out, p, e.wb); err != nil {
+			return err
+		}
+	}
+	return nil
+}

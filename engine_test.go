@@ -1,0 +1,369 @@
+package addict
+
+// Internal test file (package addict, not addict_test): the differential
+// tests below deliberately exercise the deprecated v1 wrappers, which
+// in-package use keeps out of SA1019's scope.
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"addict/internal/sweep"
+)
+
+// tinyEngine returns a session at micro sizes shared by the tests here.
+func tinyEngine(workers int) *Engine {
+	return NewEngine(WithSeed(5), WithScale(0.05), WithTraceWindows(60, 60, 80), WithWorkers(workers))
+}
+
+// TestExperimentIDsSorted is the regression test for the map-iteration-
+// order bug: the ids must come back sorted, every call.
+func TestExperimentIDsSorted(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		ids := ExperimentIDs()
+		if !sort.StringsAreSorted(ids) {
+			t.Fatalf("ExperimentIDs() not sorted: %v", ids)
+		}
+		if len(ids) < 12 {
+			t.Fatalf("only %d ids", len(ids))
+		}
+	}
+}
+
+// TestEngineMatchesDeprecatedSweep: the deprecated RunSweep wrapper, the
+// pre-session execution path (sweep.Run), and Engine.Sweep must emit
+// byte-identical tables for the same grid.
+func TestEngineMatchesDeprecatedSweep(t *testing.T) {
+	spec := SweepSpec{
+		Seed: 7, Scale: 0.05, ProfileTraces: 40, EvalTraces: 40,
+		Workloads:  []string{"TPC-B"},
+		Mechanisms: []string{"Baseline", "ADDICT"},
+		Threads:    []int{2, 4},
+	}
+	for _, format := range []string{"table", "csv", "jsonl"} {
+		var v1, v1direct, v2 bytes.Buffer
+		if err := RunSweep(&v1, spec, format, 2); err != nil {
+			t.Fatal(err)
+		}
+		em, err := sweep.NewEmitter(format, &v1direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sweep.Run(spec, em, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewEngine(WithWorkers(2)).Sweep(context.Background(), &v2, spec, format); err != nil {
+			t.Fatal(err)
+		}
+		if v1.Len() == 0 {
+			t.Fatalf("%s: empty sweep output", format)
+		}
+		if !bytes.Equal(v1.Bytes(), v2.Bytes()) {
+			t.Errorf("%s: deprecated RunSweep and Engine.Sweep diverge", format)
+		}
+		if !bytes.Equal(v1direct.Bytes(), v2.Bytes()) {
+			t.Errorf("%s: pre-session sweep.Run and Engine.Sweep diverge", format)
+		}
+	}
+}
+
+// TestEngineMatchesDeprecatedExperiments: the deprecated experiment
+// wrappers and Engine.Experiments must render byte-identical reports —
+// single experiments and the full report alike.
+func TestEngineMatchesDeprecatedExperiments(t *testing.T) {
+	e := tinyEngine(2)
+	p := e.ExperimentParams()
+	ctx := context.Background()
+
+	var v1 bytes.Buffer
+	if err := RunExperimentParallel("fig1", &v1, p, 2); err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := e.Experiments(ctx, &v2, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Len() == 0 || !bytes.Equal(v1.Bytes(), v2.Bytes()) {
+		t.Error("deprecated RunExperimentParallel and Engine.Experiments diverge on fig1")
+	}
+
+	var full1, full2 bytes.Buffer
+	RunAllExperiments(&full1, p)
+	if err := tinyEngine(4).Experiments(ctx, &full2); err != nil {
+		t.Fatal(err)
+	}
+	if full1.Len() == 0 {
+		t.Fatal("deprecated full report is empty")
+	}
+	if !bytes.Equal(full1.Bytes(), full2.Bytes()) {
+		t.Error("deprecated RunAllExperiments and Engine.Experiments diverge on the full report")
+	}
+}
+
+// TestEngineSessionReuse: repeated calls on one session must return the
+// identical cached artifacts (pointer equality), and mixed entry points
+// must agree.
+func TestEngineSessionReuse(t *testing.T) {
+	e := tinyEngine(2)
+	ctx := context.Background()
+
+	t1, err := e.Traces(ctx, "TPC-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Traces(ctx, "TPC-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("Traces not cached across calls")
+	}
+	p1, err := e.Profile(ctx, "TPC-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Profile(ctx, "TPC-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Profile not cached across calls")
+	}
+	r, err := e.Schedule(ctx, ADDICT, "TPC-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := e.ScheduleAll(ctx, "TPC-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[ADDICT].Makespan != r.Makespan {
+		t.Error("ScheduleAll does not reuse the cached Schedule result")
+	}
+
+	// The profiling and evaluation windows must stay disjoint.
+	ps, err := e.ProfilingTraces(ctx, "TPC-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps == t1 || ps.Digest() == t1.Digest() {
+		t.Error("profiling window aliases the evaluation window")
+	}
+}
+
+// TestEngineConcurrentUse hammers one session from many goroutines across
+// entry points — the -race stress of the session cache. Every goroutine
+// must observe the same artifact pointers and identical results.
+func TestEngineConcurrentUse(t *testing.T) {
+	e := tinyEngine(4)
+	ctx := context.Background()
+	names := []string{"TPC-B", "TPC-C"}
+
+	const goroutines = 12
+	type view struct {
+		set      *TraceSet
+		makespan uint64
+		sweepOut []byte
+	}
+	views := make([]view, goroutines)
+	errs := make([]error, goroutines)
+	spec := SweepSpec{
+		Seed: 5, Scale: 0.05, ProfileTraces: 60, EvalTraces: 60,
+		Workloads: []string{"TPC-B"}, Mechanisms: []string{"Baseline"},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := names[g%len(names)]
+			set, err := e.Traces(ctx, name)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			res, err := e.Schedule(ctx, Mechanisms[g%len(Mechanisms)], name)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := e.Sweep(ctx, &buf, spec, "csv"); err != nil {
+				errs[g] = err
+				return
+			}
+			views[g] = view{set: set, makespan: res.Makespan, sweepOut: buf.Bytes()}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := range views {
+		// Goroutine g%len(names) requested the same workload: one cached
+		// instance must serve both.
+		if views[g].set != views[g%len(names)].set {
+			t.Errorf("goroutine %d saw a different trace-set instance", g)
+		}
+		if !bytes.Equal(views[g].sweepOut, views[0].sweepOut) {
+			t.Errorf("goroutine %d saw different sweep bytes", g)
+		}
+		// Goroutine g+8 hit the same (workload, mechanism) cell.
+		if h := g + len(names)*len(Mechanisms); h < goroutines && views[g].makespan != views[h].makespan {
+			t.Errorf("goroutines %d/%d disagree on makespan: %d vs %d", g, h, views[g].makespan, views[h].makespan)
+		}
+	}
+}
+
+// TestEngineCancellation: a cancelled context aborts Engine pipelines with
+// its error, and — because failed computations are evicted, never cached —
+// the same session then serves a live context normally.
+func TestEngineCancellation(t *testing.T) {
+	e := tinyEngine(2)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := e.Traces(cancelled, "TPC-B"); err == nil {
+		t.Fatal("Traces with a cancelled context returned nil error")
+	}
+	var buf bytes.Buffer
+	if err := e.Sweep(cancelled, &buf, SweepSpec{Workloads: []string{"TPC-B"}}, "csv"); err == nil {
+		t.Fatal("Sweep with a cancelled context returned nil error")
+	}
+	if err := e.Experiments(cancelled, &buf, "fig1"); err == nil {
+		t.Fatal("Experiments with a cancelled context returned nil error")
+	}
+
+	// The cancelled attempts must not have poisoned the session cache.
+	ctx := context.Background()
+	set, err := e.Traces(ctx, "TPC-B")
+	if err != nil {
+		t.Fatalf("session poisoned by cancelled call: %v", err)
+	}
+	if len(set.Traces) != 60 {
+		t.Fatalf("got %d traces, want 60", len(set.Traces))
+	}
+	if _, err := e.Schedule(ctx, Baseline, "TPC-B"); err != nil {
+		t.Fatalf("Schedule after cancelled calls: %v", err)
+	}
+}
+
+// TestEngineCancellationIsPrompt: cancelling mid-run must abort a long
+// pipeline well before it would complete.
+func TestEngineCancellationIsPrompt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	e := NewEngine(WithSeed(9), WithScale(0.5), WithTraceWindows(2000, 2000, 0), WithWorkers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.Traces(ctx, "TPC-C") // far more work than 150ms allows
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled generation returned nil error")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+// TestEngineUnknownNames: every by-name entry point funnels through the
+// one registry, so unknown names fail uniformly.
+func TestEngineUnknownNames(t *testing.T) {
+	e := tinyEngine(1)
+	ctx := context.Background()
+	if _, err := e.Traces(ctx, "nope"); err == nil {
+		t.Error("Traces accepted an unknown name")
+	}
+	if _, err := e.Schedule(ctx, Baseline, "nope"); err == nil {
+		t.Error("Schedule accepted an unknown name")
+	}
+	if _, err := NewWorkload("nope", 1, 1); err == nil {
+		t.Error("NewWorkload accepted an unknown name")
+	}
+	// The synth name space resolves everywhere too.
+	if _, err := NewWorkload("synth:uniform-ro", 1, 0.02); err != nil {
+		t.Errorf("NewWorkload rejected a synth name: %v", err)
+	}
+	if _, err := e.Traces(ctx, "synth:uniform-ro"); err != nil {
+		t.Errorf("Traces rejected a synth name: %v", err)
+	}
+}
+
+// TestEngineBenchSharesSession: a session-compatible bench config reuses
+// the session cache (the report stays structurally sound either way).
+func TestEngineBenchSharesSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench cells take ~300ms each")
+	}
+	e := tinyEngine(2)
+	ctx := context.Background()
+	cfg := BenchConfig{
+		Workloads:   []string{"TPC-B"},
+		Mechanisms:  Mechanisms[:1],
+		MinRuns:     1,
+		MinDuration: time.Millisecond,
+	}
+	rep, err := e.Bench(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Workload != "TPC-B" {
+		t.Fatalf("unexpected report cells: %+v", rep.Cells)
+	}
+	if rep.Seed != 5 || rep.Scale != 0.05 {
+		t.Errorf("bench did not inherit session parameters: seed=%d scale=%v", rep.Seed, rep.Scale)
+	}
+}
+
+// TestDeprecatedWrappersStillServe keeps the v1 surface alive end to end:
+// each wrapper must produce the same artifacts as its Engine counterpart.
+func TestDeprecatedWrappersStillServe(t *testing.T) {
+	ctx := context.Background()
+	v1, err := GenerateTracesSharded("TPC-B", 5, 0.05, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewEngine(WithSeed(5), WithScale(0.05), WithWorkers(2)).GenerateTraces(ctx, "TPC-B", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Digest() != v2.Digest() {
+		t.Error("GenerateTracesSharded diverges from Engine.GenerateTraces")
+	}
+
+	spec, err := ParseSynthWorkload("synth:uniform-ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := GenerateSynthTracesSharded(spec, 5, 0.02, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewEngine(WithSeed(5), WithScale(0.02), WithWorkers(2)).SynthTraces(ctx, spec, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Digest() != s2.Digest() {
+		t.Error("GenerateSynthTracesSharded diverges from Engine.SynthTraces")
+	}
+
+	var sb strings.Builder
+	if err := RunExperiment("table1", &sb, QuickExperimentParams()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Error("RunExperiment(table1) output missing header")
+	}
+}

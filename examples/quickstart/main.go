@@ -1,10 +1,15 @@
-// Quickstart: the ADDICT pipeline end to end on TPC-B — profile migration
-// points, schedule with ADDICT, and compare against traditional scheduling.
+// Quickstart: the ADDICT pipeline end to end on TPC-B through an Engine
+// session — profile migration points, schedule with ADDICT, and compare
+// against traditional scheduling. The session owns the artifacts: the
+// profiling window is generated once, Algorithm 1 runs once, and both
+// Schedule calls replay the same cached evaluation window. Everything is
+// context-first, so a Ctrl-C here would unwind between work items.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"addict"
@@ -13,12 +18,21 @@ import (
 func main() {
 	fmt.Println("ADDICT quickstart: TPC-B, 16 simulated cores (Table 1 machine)")
 
-	// 1. Build and populate the benchmark (scale 0.25 keeps this snappy).
-	w := addict.NewTPCB(42, 0.25)
+	// 1. Open a session (scale 0.25 and 300-trace windows keep this
+	// snappy; the defaults match the quick evaluation sizes).
+	eng := addict.NewEngine(
+		addict.WithSeed(42),
+		addict.WithScale(0.25),
+		addict.WithTraceWindows(300, 300, 0),
+	)
+	ctx := context.Background()
 
-	// 2. Collect profiling traces and find migration points (Algorithm 1).
-	profSet := addict.GenerateTraces(w, 300)
-	prof := addict.FindMigrationPoints(profSet)
+	// 2. Profile migration points (Algorithm 1) over the session's
+	// profiling window — generated on demand, cached for the session.
+	prof, err := eng.Profile(ctx, "TPC-B")
+	if err != nil {
+		panic(err)
+	}
 	for _, tt := range prof.SortedTypes() {
 		tp := prof.Txns[tt]
 		fmt.Printf("  profiled %s: %d instances\n", tp.Name, tp.Instances)
@@ -29,13 +43,13 @@ func main() {
 		}
 	}
 
-	// 3. Replay fresh traces under Baseline and ADDICT.
-	evalSet := addict.GenerateTraces(w, 300)
-	base, err := addict.Schedule(addict.Baseline, evalSet, addict.Options{})
+	// 3. Replay the (disjoint, cached) evaluation window under Baseline
+	// and ADDICT. The session reuses the profile from step 2.
+	base, err := eng.Schedule(ctx, addict.Baseline, "TPC-B")
 	if err != nil {
 		panic(err)
 	}
-	res, err := addict.Schedule(addict.ADDICT, evalSet, addict.Options{Profile: prof})
+	res, err := eng.Schedule(ctx, addict.ADDICT, "TPC-B")
 	if err != nil {
 		panic(err)
 	}

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,11 +51,18 @@ type Config struct {
 }
 
 // DefaultConfig returns the standard harness setup (quick evaluation
-// sizes). Reports generated from different sizes are not comparable;
-// BENCH_*.json trajectories should all use this configuration.
+// sizes): the three TPC benchmarks plus two synthetic regimes — a
+// uniform read-only cell and a zipfian hot read-write cell — so the
+// BENCH_*.json trajectory measures replay performance on non-TPC access
+// patterns too (BENCH_5.json onward; earlier trajectory points carry TPC
+// cells only). Reports generated from different sizes or workload sets
+// are not comparable; trajectories should all use this configuration.
 func DefaultConfig() Config {
 	return Config{
-		Workloads:     []string{"TPC-B", "TPC-C", "TPC-E"},
+		Workloads: []string{
+			"TPC-B", "TPC-C", "TPC-E",
+			"synth:uniform-ro", "synth:zipf-hot-rw",
+		},
 		Mechanisms:    sched.Mechanisms,
 		Seed:          42,
 		Scale:         0.5,
@@ -126,13 +134,38 @@ const schemaID = "addict-bench/v1"
 // progress when non-nil (one per cell; measurement noise is easier to
 // diagnose when the slow cell is visible).
 func Run(cfg Config, progress io.Writer) (*Report, error) {
+	return RunCtx(context.Background(), cfg, progress)
+}
+
+// RunCtx is Run with cooperative cancellation: the harness stops between
+// trace-generation shards and between measurement cells once ctx is
+// cancelled, and returns ctx's error instead of a partial report (a
+// partial report would not be comparable to any BENCH_*.json trajectory
+// point).
+func RunCtx(ctx context.Context, cfg Config, progress io.Writer) (*Report, error) {
+	return RunWith(ctx, cfg, progress, nil)
+}
+
+// RunWith is RunCtx over a caller-supplied artifact cache (nil builds a
+// fresh one from the config) — the hook a long-lived session uses to share
+// generated traces and profiles with the harness. A cache whose base
+// parameters do not Match the resolved config is ignored (a fresh one is
+// built), so the report's metadata always describes the artifacts it was
+// measured on; measurement itself is unaffected (cells are strictly serial
+// either way).
+func RunWith(ctx context.Context, cfg Config, progress io.Writer, arts *sweep.Artifacts) (*Report, error) {
 	cfg = withDefaults(cfg)
 	for _, name := range cfg.Workloads {
 		if err := sweep.ValidateWorkloadName(name); err != nil {
 			return nil, fmt.Errorf("bench: %w", err)
 		}
 	}
-	arts := sweep.NewArtifacts(cfg.Seed, cfg.Scale, cfg.ProfileTraces, cfg.EvalTraces, cfg.Workers)
+	if arts != nil && !arts.Matches(cfg.Seed, cfg.Scale, cfg.ProfileTraces, cfg.EvalTraces) {
+		arts = nil
+	}
+	if arts == nil {
+		arts = sweep.NewArtifacts(cfg.Seed, cfg.Scale, cfg.ProfileTraces, cfg.EvalTraces, cfg.Workers)
+	}
 	rep := &Report{
 		Schema:        schemaID,
 		GoVersion:     runtime.Version(),
@@ -145,9 +178,18 @@ func Run(cfg Config, progress io.Writer) (*Report, error) {
 		EvalTraces:    cfg.EvalTraces,
 	}
 	for _, name := range cfg.Workloads {
-		set := arts.EvalSet(name)
-		prof := arts.Profile(name, cfg.Machine)
+		set, err := arts.EvalSet(ctx, name)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		prof, err := arts.Profile(ctx, name, cfg.Machine)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
 		for _, mech := range cfg.Mechanisms {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cell, err := measureCell(mech, set, prof, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s on %s: %w", mech, name, err)

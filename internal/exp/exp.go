@@ -17,12 +17,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"addict/internal/codemap"
 	"addict/internal/core"
-	"addict/internal/pool"
 	"addict/internal/sched"
 	"addict/internal/sim"
 	"addict/internal/sweep"
@@ -77,54 +77,107 @@ func QuickParams() Params {
 // Workloads lists the paper's three benchmarks in presentation order.
 var Workloads = []string{"TPC-B", "TPC-C", "TPC-E"}
 
-// Workbench caches per-workload artifacts (populated benchmark, profiling
-// and evaluation trace sets, the migration-point profile, per-mechanism
-// replay results) so the experiments sharing them do not regenerate. It is
-// safe for concurrent use: each artifact is computed once (single-flight)
-// no matter how many experiments request it at the same time, and every
-// artifact's content is independent of the order, interleaving, or worker
-// count of the requests. The trace-window and profiling recipe lives in
-// sweep.Artifacts — the workbench is the figure pipeline's view of the
-// same cache the sweep engine uses.
+// Workbench is the figure pipeline's view of the shared session cache
+// (sweep.Workbench): per-workload artifacts — profiling and evaluation
+// trace sets, the migration-point profile, per-mechanism replay results —
+// computed once (single-flight) no matter how many experiments request
+// them concurrently, with content independent of order, interleaving, and
+// worker count. The figure runners consume artifacts as plain values; on a
+// context-cancelled run the accessors unwind with an internal panic the
+// experiment entry points (RunAllCtx, RunAllParallelCtx, Experiments)
+// recover into an ordinary error, so a cancelled run renders nothing
+// half-computed.
 type Workbench struct {
 	P      Params
 	Layout *codemap.Layout
 
-	arts    *sweep.Artifacts
-	results pool.OnceMap[sim.Result]
+	ctx context.Context
+	wb  *sweep.Workbench
 }
 
 // NewWorkbench prepares an empty workbench with serial trace generation.
 func NewWorkbench(p Params) *Workbench {
-	return NewParallelWorkbench(p, 1)
+	return NewWorkbenchCtx(context.Background(), p, 1)
 }
 
 // NewParallelWorkbench prepares an empty workbench whose trace generation
 // may use up to `workers` goroutines. Artifact content is identical for
 // every workers value (see workload.GenerateSetSharded).
 func NewParallelWorkbench(p Params, workers int) *Workbench {
+	return NewWorkbenchCtx(context.Background(), p, workers)
+}
+
+// NewWorkbenchCtx prepares a workbench whose artifact computations abort
+// between work items once ctx is cancelled.
+func NewWorkbenchCtx(ctx context.Context, p Params, workers int) *Workbench {
 	arts := sweep.NewArtifacts(p.Seed, p.Scale, p.ProfileTraces, p.EvalTraces, workers)
+	return NewWorkbenchOn(ctx, p, sweep.NewWorkbench(arts, p.Machine))
+}
+
+// NewWorkbenchOn wraps an existing session cache (sweep.Workbench) as an
+// experiment workbench — the hook the facade's Engine uses to run
+// experiments over the same artifacts its Schedule/Sweep/Bench calls
+// already computed. The caller must pass a cache built over exactly p's
+// seed, scale, trace windows, and machine.
+func NewWorkbenchOn(ctx context.Context, p Params, wb *sweep.Workbench) *Workbench {
 	return &Workbench{
 		P:      p,
-		Layout: arts.Layout(),
-		arts:   arts,
+		Layout: wb.Artifacts().Layout(),
+		ctx:    ctx,
+		wb:     wb,
+	}
+}
+
+// cancelPanic carries a context cancellation out of the value-oriented
+// figure runners; the experiment entry points recover it into an error.
+type cancelPanic struct{ err error }
+
+// take unwraps an artifact result: cancellation panics (recovered by the
+// entry points), any other error is a programming error and crashes —
+// matching the engine's fail-fast philosophy.
+func take[T any](w *Workbench, v T, err error) T {
+	if err != nil {
+		if w.ctx.Err() != nil {
+			panic(cancelPanic{err})
+		}
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	return v
+}
+
+// recoverCancel converts a cancelPanic into its error; other panics
+// propagate. Use in a defer: *errp is set when the run was cancelled.
+func recoverCancel(errp *error) {
+	switch r := recover().(type) {
+	case nil:
+	case cancelPanic:
+		*errp = r.err
+	default:
+		panic(r)
 	}
 }
 
 // ProfileSet returns the profiling trace set (the paper's "first 1000"
 // traces): shards [0, NumShards(ProfileTraces)) of the workload's sharded
 // trace space.
-func (w *Workbench) ProfileSet(name string) *trace.Set { return w.arts.ProfileSet(name) }
+func (w *Workbench) ProfileSet(name string) *trace.Set {
+	s, err := w.wb.ProfileSet(w.ctx, name)
+	return take(w, s, err)
+}
 
 // EvalSet returns the evaluation trace set (the paper's "next 1000"): the
 // shards immediately after the profiling window, so the two sets are
 // disjoint by construction regardless of computation order.
-func (w *Workbench) EvalSet(name string) *trace.Set { return w.arts.EvalSet(name) }
+func (w *Workbench) EvalSet(name string) *trace.Set {
+	s, err := w.wb.EvalSet(w.ctx, name)
+	return take(w, s, err)
+}
 
 // Profile returns the workload's Algorithm 1 output over the profiling set,
 // with the storage manager's no-migrate zones applied (Section 3.1.3).
 func (w *Workbench) Profile(name string) *core.Profile {
-	return w.arts.Profile(name, w.P.Machine)
+	p, err := w.wb.Profile(w.ctx, name)
+	return take(w, p, err)
 }
 
 // Result replays the workload's evaluation set under a mechanism, caching
@@ -133,14 +186,8 @@ func (w *Workbench) Profile(name string) *core.Profile {
 // per-(workload, mechanism) point is the default-load sweep unit on the
 // run's machine.
 func (w *Workbench) Result(name string, mech sched.Mechanism) sim.Result {
-	return w.results.Do(name+"\x00"+string(mech), func() sim.Result {
-		u := sweep.NewUnit(name, mech, w.P.Machine, 0, 0)
-		r, err := sweep.Replay(u, w.EvalSet(name), w.Profile(name))
-		if err != nil {
-			panic(fmt.Sprintf("exp: %s on %s: %v", mech, name, err))
-		}
-		return r
-	})
+	r, err := w.wb.Result(w.ctx, name, mech)
+	return take(w, r, err)
 }
 
 // ratio is a/b guarding b=0.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -272,7 +273,9 @@ func TestExperimentRegistryRunners(t *testing.T) {
 			t.Fatalf("missing %q", id)
 		}
 		var sb strings.Builder
-		run(&sb, p, 2)
+		if err := run(context.Background(), &sb, p, 2); err != nil {
+			t.Fatalf("experiment %q: %v", id, err)
+		}
 		if sb.Len() == 0 {
 			t.Errorf("experiment %q produced no output", id)
 		}

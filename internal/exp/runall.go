@@ -2,11 +2,13 @@ package exp
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"io"
-	"runtime"
 
 	"addict/internal/pool"
 	"addict/internal/sched"
+	"addict/internal/sweep"
 )
 
 // RunAll executes every experiment serially and renders the full report —
@@ -14,7 +16,16 @@ import (
 // byte-identical output on a worker pool; this serial form is kept as the
 // reference implementation the determinism tests compare against.
 func RunAll(out io.Writer, p Params) {
-	w := NewWorkbench(p)
+	// Background context: the legacy entry point cannot be cancelled.
+	_ = RunAllCtx(context.Background(), out, p)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation: once ctx is cancelled
+// the run stops between artifact computations and returns ctx's error; the
+// sections already written form a clean prefix of the report.
+func RunAllCtx(ctx context.Context, out io.Writer, p Params) (err error) {
+	defer recoverCancel(&err)
+	w := NewWorkbenchCtx(ctx, p, 1)
 
 	Table1(out, p.Machine)
 	Fig1(w).Render(out)
@@ -45,6 +56,7 @@ func RunAll(out io.Writer, p Params) {
 		Ablate(w, name).Render(out)
 	}
 	SynthChar(w).Render(out)
+	return nil
 }
 
 // RunAllParallel executes every experiment of RunAll on a bounded worker
@@ -59,11 +71,29 @@ func RunAll(out io.Writer, p Params) {
 // content is independent of computation order (sharded trace generation,
 // deterministic simulation).
 func RunAllParallel(out io.Writer, p Params, workers int) {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	w := NewParallelWorkbench(p, workers)
+	_ = RunAllParallelCtx(context.Background(), out, p, workers)
+}
 
+// RunAllParallelCtx is RunAllParallel with cooperative cancellation: once
+// ctx is cancelled no new experiment unit starts and no further section is
+// emitted; in-flight units finish (a simulation replay is not divisible)
+// and the call returns ctx's error after the pool drains. The sections
+// already written form a clean prefix of the serial report.
+func RunAllParallelCtx(ctx context.Context, out io.Writer, p Params, workers int) error {
+	workers = pool.NormWorkers(workers)
+	return runAllParallelOn(ctx, NewWorkbenchCtx(ctx, p, workers), out, p, workers)
+}
+
+// RunAllParallelWith is RunAllParallelCtx over an existing session cache
+// (see NewWorkbenchOn): the full report reuses — and leaves behind —
+// whatever artifacts the session already holds.
+func RunAllParallelWith(ctx context.Context, out io.Writer, p Params, workers int, swb *sweep.Workbench) error {
+	workers = pool.NormWorkers(workers)
+	return runAllParallelOn(ctx, NewWorkbenchOn(ctx, p, swb), out, p, workers)
+}
+
+// runAllParallelOn is the shared body of the parallel report runners.
+func runAllParallelOn(ctx context.Context, w *Workbench, out io.Writer, p Params, workers int) error {
 	fig4Workloads := []string{"TPC-B", "TPC-C"}
 	comparisons := make([]Comparison, len(Workloads))
 	deep := make([]Fig8aResult, len(Workloads))
@@ -82,10 +112,32 @@ func RunAllParallel(out io.Writer, p Params, workers int) {
 	var emits []emitStep
 	nothing := func() {}
 
-	// done wraps a job so emit steps can wait on its completion.
+	// done wraps a job so emit steps can wait on its completion: a
+	// cancelled run closes the done channel without running the job (the
+	// pool stops dispatching), so waiters unblock either way. Cancellation
+	// panics inside a job are recovered here — the emission loop aborts
+	// before rendering anything the job left half-built.
 	done := func(job func()) (func(), func()) {
 		ch := make(chan struct{})
-		return func() { defer close(ch); job() }, func() { <-ch }
+		wrapped := func() {
+			defer close(ch)
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(cancelPanic); ok {
+						return
+					}
+					panic(r)
+				}
+			}()
+			job()
+		}
+		wait := func() {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+			}
+		}
+		return wrapped, wait
 	}
 	// buffered returns a pool job that renders into a private buffer and
 	// queues the buffer for in-order emission once the job completes.
@@ -174,7 +226,8 @@ func RunAllParallel(out io.Writer, p Params, workers int) {
 		name := name
 		for _, mech := range allMechanisms() {
 			mech := mech
-			jobs = append(jobs, func() { w.Result(name, mech) })
+			warm, _ := done(func() { w.Result(name, mech) })
+			jobs = append(jobs, warm)
 		}
 	}
 	jobs = append(jobs, fig1Job)
@@ -190,104 +243,105 @@ func RunAllParallel(out io.Writer, p Params, workers int) {
 	poolDone := make(chan struct{})
 	go func() {
 		defer close(poolDone)
-		pool.Run(workers, len(jobs), func(i int) { jobs[i]() })
+		_ = pool.RunCtx(ctx, workers, len(jobs), func(i int) { jobs[i]() })
 	}()
 	for _, emit := range emits {
 		emit.wait()
+		if err := ctx.Err(); err != nil {
+			<-poolDone // in-flight units drain; undispatched ones never start
+			return err
+		}
 		emit.render(out)
 	}
 	<-poolDone // warm-up jobs may still be draining after the last section
+	return ctx.Err()
 }
 
 // allMechanisms returns the evaluated mechanisms in presentation order.
 func allMechanisms() []sched.Mechanism { return sched.Mechanisms }
 
-// Experiments maps experiment ids to their standalone runners, for the
-// cmd/addict-bench -exp flag. workers bounds the runner's generation and
-// replay parallelism exactly as in RunAllParallel (workers < 1 selects
-// runtime.GOMAXPROCS(0)); output is identical for every worker count.
-var Experiments = map[string]func(out io.Writer, p Params, workers int){
-	"table1": func(out io.Writer, p Params, workers int) { Table1(out, p.Machine) },
-	"fig1": func(out io.Writer, p Params, workers int) {
-		Fig1(newExpWorkbench(p, workers)).Render(out)
-	},
-	"fig2": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
+// experimentBodies maps experiment ids to their render bodies over a
+// workbench — the single definition both the standalone runners
+// (Experiments) and session-cache runs (RunExperimentWith) share.
+var experimentBodies = map[string]func(w *Workbench, out io.Writer){
+	"table1": func(w *Workbench, out io.Writer) { Table1(out, w.P.Machine) },
+	"fig1":   func(w *Workbench, out io.Writer) { Fig1(w).Render(out) },
+	"fig2": func(w *Workbench, out io.Writer) {
 		for _, name := range Workloads {
 			Fig2(w, name).Render(out)
 		}
 	},
-	"fig3": func(out io.Writer, p Params, workers int) {
-		Fig3(newExpWorkbench(p, workers)).Render(out)
-	},
-	"fig4": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
+	"fig3": func(w *Workbench, out io.Writer) { Fig3(w).Render(out) },
+	"fig4": func(w *Workbench, out io.Writer) {
 		for _, name := range []string{"TPC-B", "TPC-C"} {
 			Fig4(w, name).Render(out)
 		}
 	},
-	"fig5": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
-		var cs []Comparison
-		for _, name := range Workloads {
-			cs = append(cs, Compare(w, name))
-		}
-		Fig5Render(out, cs)
-	},
-	"fig6": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
-		var cs []Comparison
-		for _, name := range Workloads {
-			cs = append(cs, Compare(w, name))
-		}
-		Fig6Render(out, cs)
-	},
-	"fig7": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
+	"fig5": func(w *Workbench, out io.Writer) { Fig5Render(out, compareAll(w)) },
+	"fig6": func(w *Workbench, out io.Writer) { Fig6Render(out, compareAll(w)) },
+	"fig7": func(w *Workbench, out io.Writer) {
 		for _, name := range Workloads {
 			Fig7(w, name).Render(out)
 		}
 	},
-	"fig8a": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
+	"fig8a": func(w *Workbench, out io.Writer) {
 		var rs []Fig8aResult
 		for _, name := range Workloads {
 			rs = append(rs, Fig8a(w, name))
 		}
 		Fig8aRender(out, rs)
 	},
-	"fig8b": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
-		var cs []Comparison
-		for _, name := range Workloads {
-			cs = append(cs, Compare(w, name))
-		}
-		Fig8bRender(out, cs)
-	},
-	"fig9": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
-		var cs []Comparison
-		for _, name := range Workloads {
-			cs = append(cs, Compare(w, name))
-		}
-		Fig9Render(out, cs)
-	},
-	"ablations": func(out io.Writer, p Params, workers int) {
-		w := newExpWorkbench(p, workers)
+	"fig8b": func(w *Workbench, out io.Writer) { Fig8bRender(out, compareAll(w)) },
+	"fig9":  func(w *Workbench, out io.Writer) { Fig9Render(out, compareAll(w)) },
+	"ablations": func(w *Workbench, out io.Writer) {
 		for _, name := range Workloads {
 			Ablate(w, name).Render(out)
 		}
 	},
-	"synthchar": func(out io.Writer, p Params, workers int) {
-		SynthChar(newExpWorkbench(p, workers)).Render(out)
-	},
+	"synthchar": func(w *Workbench, out io.Writer) { SynthChar(w).Render(out) },
 }
 
-// newExpWorkbench builds the workbench of a standalone experiment runner,
-// applying the package worker-count convention.
-func newExpWorkbench(p Params, workers int) *Workbench {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+// Experiments maps experiment ids to their standalone context-first
+// runners. workers bounds the runner's generation and replay parallelism
+// exactly as in RunAllParallelCtx (workers < 1 selects
+// runtime.GOMAXPROCS(0)); output is identical for every worker count. A
+// cancelled run stops between artifact computations and returns ctx's
+// error.
+var Experiments = func() map[string]func(ctx context.Context, out io.Writer, p Params, workers int) error {
+	m := make(map[string]func(ctx context.Context, out io.Writer, p Params, workers int) error, len(experimentBodies))
+	for id, body := range experimentBodies {
+		body := body
+		m[id] = func(ctx context.Context, out io.Writer, p Params, workers int) error {
+			return runBody(ctx, body, NewWorkbenchCtx(ctx, p, pool.NormWorkers(workers)), out)
+		}
 	}
-	return NewParallelWorkbench(p, workers)
+	return m
+}()
+
+// RunExperimentWith runs one experiment by id over an existing session
+// cache (see NewWorkbenchOn) — the facade Engine's single-experiment path.
+func RunExperimentWith(ctx context.Context, id string, out io.Writer, p Params, swb *sweep.Workbench) error {
+	body, ok := experimentBodies[id]
+	if !ok {
+		return fmt.Errorf("exp: unknown experiment %q", id)
+	}
+	return runBody(ctx, body, NewWorkbenchOn(ctx, p, swb), out)
+}
+
+// compareAll assembles the per-workload mechanism comparisons Figures 5,
+// 6, 8b, and 9 share.
+func compareAll(w *Workbench) []Comparison {
+	var cs []Comparison
+	for _, name := range Workloads {
+		cs = append(cs, Compare(w, name))
+	}
+	return cs
+}
+
+// runBody executes a render body, recovering a cancellation unwind into
+// the returned error.
+func runBody(ctx context.Context, body func(w *Workbench, out io.Writer), w *Workbench, out io.Writer) (err error) {
+	defer recoverCancel(&err)
+	body(w, out)
+	return ctx.Err()
 }

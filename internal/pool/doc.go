@@ -1,9 +1,12 @@
-// Package pool provides the bounded worker pool and the single-flight
-// memoization map shared by the parallel experiment engine (internal/exp),
-// the parameter-sweep engine (internal/sweep), sharded trace generation
-// (internal/workload), and the concurrent facade (package addict).
+// Package pool provides the bounded worker pool (with cooperative
+// context cancellation, RunCtx) and the error-aware single-flight
+// memoization map (Flight) shared by the parallel experiment engine
+// (internal/exp), the parameter-sweep engine (internal/sweep), sharded
+// trace generation (internal/workload), and the session facade (package
+// addict, the Engine).
 //
 // It has no counterpart in the paper: it exists so the Section 4 evaluation
 // — and the sensitivity sweeps built on top of it — can run on a worker
-// pool while staying byte-identical to a serial run.
+// pool while staying byte-identical to a serial run, and so a Ctrl-C (or
+// any context cancellation) unwinds every pipeline between work items.
 package pool

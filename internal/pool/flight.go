@@ -1,0 +1,107 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// flightCell holds one in-flight or completed artifact computation.
+type flightCell[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// errFlightPanic marks a cell whose computation panicked: the panic
+// propagates to the leader's caller, while waiters observe a failed cell
+// (evicted, retryable) instead of blocking forever.
+var errFlightPanic = errors.New("pool: flight computation panicked")
+
+// Flight is a concurrency-safe memoization map with single-flight
+// semantics: the first caller of a key (the leader) runs the computation
+// while later callers block until it is ready, so a successful computation
+// runs exactly once per key. A computation that returns an error is NOT
+// cached — the key is evicted, and each waiter whose own context is still
+// live retries (becoming the new leader) rather than inheriting the
+// leader's error. That makes Flight safe under per-request contexts: one
+// cancelled request neither poisons a long-lived session's cache nor
+// spuriously fails concurrent requests that were not cancelled. The zero
+// value is ready to use.
+//
+// Flight is the caching primitive behind the shared artifact cache
+// (sweep.Artifacts) and the session workbench (sweep.Workbench), whose
+// determinism guarantees rest on every artifact being computed once with
+// order-free content.
+type Flight[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCell[V]
+}
+
+// Do returns the memoized value for key, computing it with fn on first
+// use. fn should observe ctx (cancellation between its own work items) and
+// return ctx's error when cancelled; Do itself uses ctx to stop waiting on
+// another caller's computation and to decide whether a failed shared
+// computation is worth retrying, so a cancelled waiter returns promptly
+// even while an unrelated leader keeps computing. A panic inside fn
+// propagates to the leader's caller; waiters see the key evicted and
+// retry, re-encountering the panic in their own call stacks (fail-fast,
+// never a deadlock).
+func (f *Flight[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, error) {
+	for {
+		f.mu.Lock()
+		if f.m == nil {
+			f.m = make(map[string]*flightCell[V])
+		}
+		c, ok := f.m[key]
+		if !ok {
+			c = &flightCell[V]{done: make(chan struct{})}
+			f.m[key] = c
+			f.mu.Unlock()
+			f.lead(key, c, fn)
+			return c.val, c.err
+		}
+		f.mu.Unlock()
+
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+		if c.err == nil {
+			return c.val, nil
+		}
+		// The leader failed and its cell was evicted. If this caller's own
+		// context is dead, that is the failure to report; otherwise loop
+		// and retry — possibly becoming the new leader.
+		if err := ctx.Err(); err != nil {
+			var zero V
+			return zero, err
+		}
+	}
+}
+
+// lead runs the computation as key's leader. The deferred block publishes
+// the outcome even when fn panics: the cell is marked failed and evicted,
+// waiters unblock, and the panic continues to the leader's caller.
+func (f *Flight[V]) lead(key string, c *flightCell[V], fn func() (V, error)) {
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errFlightPanic
+		}
+		if c.err != nil {
+			f.mu.Lock()
+			// Only evict our own cell: a retrying waiter may already have
+			// installed a successor after observing the close below.
+			if f.m[key] == c {
+				delete(f.m, key)
+			}
+			f.mu.Unlock()
+		}
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	completed = true
+}

@@ -1,6 +1,21 @@
 package pool
 
-import "sync"
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// NormWorkers applies the engine-wide worker-count convention: values below
+// 1 select runtime.GOMAXPROCS(0). Every public parallel entry point (the
+// facade, the cmds, the experiment and sweep runners) routes through this
+// one helper so the convention cannot drift between layers.
+func NormWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
 
 // Run invokes fn(0), fn(1), ... fn(n-1) on up to `workers` goroutines and
 // returns once every call has finished. Indices are handed out in order,
@@ -8,14 +23,25 @@ import "sync"
 // runs inline on the caller's goroutine. Panics inside fn propagate and
 // crash the process, matching the engine's fail-fast error philosophy.
 func Run(workers, n int, fn func(i int)) {
+	_ = RunCtx(context.Background(), workers, n, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: no new index is handed out
+// once ctx is cancelled, and the call returns ctx.Err() (nil when every
+// index ran). Cancellation is checked between items only — an fn already
+// running completes normally — so fn never observes a half-executed unit.
+func RunCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -28,9 +54,21 @@ func Run(workers, n int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+	cancelled := false
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			cancelled = true
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
 }

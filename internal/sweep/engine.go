@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -11,35 +12,14 @@ import (
 	"addict/internal/sim"
 	"addict/internal/trace"
 	"addict/internal/workload"
-	"addict/internal/workload/synth"
 )
 
-// generateSharded resolves a workload name — a TPC benchmark or an encoded
-// synthetic workload ("synth:...") — and generates a sharded trace window
-// for it. Both paths share the identical shard recipe, so the worker-count
-// byte-identity guarantee is uniform across the name space.
-func generateSharded(name string, seed int64, scale float64, baseShard, n, shardSize, workers int) (*trace.Set, error) {
-	if synth.IsName(name) {
-		spec, err := synth.ParseName(name)
-		if err != nil {
-			return nil, err
-		}
-		return synth.GenerateSetSharded(spec, seed, scale, baseShard, n, shardSize, workers)
-	}
-	return workload.GenerateSetSharded(name, seed, scale, baseShard, n, shardSize, workers)
-}
-
-// ValidateWorkloadName rejects names neither the TPC builder nor the
-// synthetic-workload parser recognizes — callers of Artifacts check names
-// up front with it, because the memoized generators treat a bad name as a
-// panic-worthy programming error rather than an input error.
+// ValidateWorkloadName rejects names the workload-name registry does not
+// resolve — neither a TPC benchmark nor a registered backend (encoded
+// synthetic workloads). Kept as the sweep-flavored wrapper over
+// workload.Validate, the one registry every by-name consumer shares.
 func ValidateWorkloadName(name string) error {
-	if synth.IsName(name) {
-		_, err := synth.ParseName(name)
-		return err
-	}
-	_, err := workload.Builder(name)
-	return err
+	return workload.Validate(name)
 }
 
 // Metrics are the per-unit outcomes every emitter reports. All values are
@@ -99,12 +79,15 @@ func Replay(u Unit, set *trace.Set, prof *core.Profile) (sim.Result, error) {
 }
 
 // Artifacts caches the artifacts experiment units share — the one
-// implementation of the trace-window and profiling recipe, used by both the
-// sweep engine and internal/exp's Workbench. Trace sets are keyed by
-// workload over fixed (seed, scale, window) parameters; migration-point
-// profiles are keyed by (workload, L1-I geometry), because Algorithm 1's
-// output depends on the cache it profiles against. Every artifact is
-// single-flight memoized and content-independent of computation order.
+// implementation of the trace-window and profiling recipe, used by the
+// sweep engine, the bench harness, internal/exp's figure pipeline, and the
+// facade's Engine sessions. Trace sets are keyed by workload over fixed
+// (seed, scale, window) parameters; migration-point profiles are keyed by
+// (workload, L1-I geometry), because Algorithm 1's output depends on the
+// cache it profiles against. Every artifact is single-flight memoized with
+// order-free content; a computation aborted by context cancellation is
+// evicted rather than cached, so one cancelled request never poisons a
+// long-lived session.
 type Artifacts struct {
 	seed          int64
 	scale         float64
@@ -115,9 +98,9 @@ type Artifacts struct {
 	workers int
 	layout  *codemap.Layout
 
-	profSets pool.OnceMap[*trace.Set]
-	evalSets pool.OnceMap[*trace.Set]
-	profiles pool.OnceMap[*core.Profile]
+	profSets pool.Flight[*trace.Set]
+	evalSets pool.Flight[*trace.Set]
+	profiles pool.Flight[*core.Profile]
 }
 
 // NewArtifacts prepares an empty artifact cache whose trace generation may
@@ -140,55 +123,76 @@ func NewArtifacts(seed int64, scale float64, profileTraces, evalTraces, workers 
 // routine ranges) the cache profiles against.
 func (a *Artifacts) Layout() *codemap.Layout { return a.layout }
 
+// Matches reports whether the cache was built over exactly these base
+// parameters — the compatibility test a session runs before sharing its
+// cache with a sweep or bench configuration.
+func (a *Artifacts) Matches(seed int64, scale float64, profileTraces, evalTraces int) bool {
+	return a.seed == seed && a.scale == scale &&
+		a.profileTraces == profileTraces && a.evalTraces == evalTraces
+}
+
 // ProfileSet returns the workload's profiling window (the paper's "first
 // 1000" traces): shards [0, NumShards(profileTraces)) of the sharded trace
-// space, worker-count independent.
-func (a *Artifacts) ProfileSet(name string) *trace.Set {
-	return a.profSets.Do(name, func() *trace.Set {
-		s, err := generateSharded(name, a.seed, a.scale,
-			0, a.profileTraces, workload.DefaultShardSize, a.workers)
+// space, worker-count independent. The workload name resolves through the
+// workload-name registry (TPC benchmarks, "synth:" encoded names).
+func (a *Artifacts) ProfileSet(ctx context.Context, name string) (*trace.Set, error) {
+	return a.profSets.Do(ctx, name, func() (*trace.Set, error) {
+		r, err := workload.Resolve(name)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		return s
+		return r.GenerateSharded(ctx, a.seed, a.scale,
+			0, a.profileTraces, workload.DefaultShardSize, a.workers)
 	})
 }
 
 // EvalSet returns the workload's evaluation window (the paper's "next
 // 1000"): the shards immediately after the profiling window, so the two
 // sets are disjoint by construction regardless of computation order.
-func (a *Artifacts) EvalSet(name string) *trace.Set {
-	return a.evalSets.Do(name, func() *trace.Set {
-		base := workload.NumShards(a.profileTraces, workload.DefaultShardSize)
-		s, err := generateSharded(name, a.seed, a.scale,
-			base, a.evalTraces, workload.DefaultShardSize, a.workers)
+func (a *Artifacts) EvalSet(ctx context.Context, name string) (*trace.Set, error) {
+	return a.evalSets.Do(ctx, name, func() (*trace.Set, error) {
+		r, err := workload.Resolve(name)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		return s
+		base := workload.NumShards(a.profileTraces, workload.DefaultShardSize)
+		return r.GenerateSharded(ctx, a.seed, a.scale,
+			base, a.evalTraces, workload.DefaultShardSize, a.workers)
 	})
 }
 
 // Profile returns Algorithm 1's output for a workload against the given
 // machine's L1-I geometry, with the storage manager's no-migrate zones
 // applied (Section 3.1.3).
-func (a *Artifacts) Profile(name string, m sim.Config) *core.Profile {
+func (a *Artifacts) Profile(ctx context.Context, name string, m sim.Config) (*core.Profile, error) {
 	key := fmt.Sprintf("%s\x00%d\x00%d", name, m.L1I.SizeBytes, m.L1I.Ways)
-	return a.profiles.Do(key, func() *core.Profile {
+	return a.profiles.Do(ctx, key, func() (*core.Profile, error) {
+		set, err := a.ProfileSet(ctx, name)
+		if err != nil {
+			return nil, err
+		}
 		cfg := core.ProfileConfig{L1I: m.L1I, NoMigrate: a.layout.NoMigrate}
-		return core.FindMigrationPoints(a.ProfileSet(name), cfg)
+		return core.FindMigrationPoints(set, cfg), nil
 	})
 }
 
 // runUnit executes one unit over the artifact cache. Only ADDICT consults
 // the migration-point profile, so other mechanisms skip Algorithm 1
 // entirely.
-func runUnit(a *Artifacts, u Unit) (Metrics, error) {
+func runUnit(ctx context.Context, a *Artifacts, u Unit) (Metrics, error) {
 	var prof *core.Profile
 	if u.Mechanism == sched.ADDICT {
-		prof = a.Profile(u.Workload, u.Machine)
+		p, err := a.Profile(ctx, u.Workload, u.Machine)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("sweep: %s: %w", u.ID, err)
+		}
+		prof = p
 	}
-	r, err := Replay(u, a.EvalSet(u.Workload), prof)
+	set, err := a.EvalSet(ctx, u.Workload)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("sweep: %s: %w", u.ID, err)
+	}
+	r, err := Replay(u, set, prof)
 	if err != nil {
 		return Metrics{}, fmt.Errorf("sweep: %s: %w", u.ID, err)
 	}
@@ -203,6 +207,22 @@ func runUnit(a *Artifacts, u Unit) (Metrics, error) {
 // single-flight, order-free artifacts) and emission order is fixed by the
 // grid, not by completion.
 func Run(spec Spec, em Emitter, workers int) error {
+	return RunCtx(context.Background(), spec, em, workers)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is cancelled no new
+// unit starts and no further row is emitted, and the call returns ctx's
+// error — the rows already streamed form a clean prefix of the full sweep.
+func RunCtx(ctx context.Context, spec Spec, em Emitter, workers int) error {
+	return RunWith(ctx, spec, em, workers, nil)
+}
+
+// RunWith is RunCtx over a caller-supplied artifact cache (nil builds a
+// fresh one from the spec) — the hook a long-lived session uses to share
+// one cache across repeated sweeps. A cache whose base parameters do not
+// Match the spec's resolved parameters is ignored (a fresh one is built),
+// so a mismatched cache can never silently substitute its own artifacts.
+func RunWith(ctx context.Context, spec Spec, em Emitter, workers int, arts *Artifacts) error {
 	units, err := spec.Expand()
 	if err != nil {
 		return err
@@ -222,7 +242,15 @@ func Run(spec Spec, em Emitter, workers int) error {
 		workers = 1
 	}
 	s := spec.withDefaults()
-	arts := NewArtifacts(s.Seed, s.Scale, s.ProfileTraces, s.EvalTraces, workers)
+	if arts != nil && !arts.Matches(s.Seed, s.Scale, s.ProfileTraces, s.EvalTraces) {
+		// withDefaults may have normalized parameters (e.g. seed 0 -> 42)
+		// past what the caller matched against; never let a mismatched
+		// cache substitute its own artifacts.
+		arts = nil
+	}
+	if arts == nil {
+		arts = NewArtifacts(s.Seed, s.Scale, s.ProfileTraces, s.EvalTraces, workers)
+	}
 	results := make([]Metrics, len(units))
 	errs := make([]error, len(units))
 	done := make([]chan struct{}, len(units))
@@ -234,19 +262,23 @@ func Run(spec Spec, em Emitter, workers int) error {
 	// nobody will read.
 	var stopped atomic.Bool
 	stop := func(err error) error { stopped.Store(true); return err }
-	go pool.Run(workers, len(units), func(i int) {
+	go pool.RunCtx(ctx, workers, len(units), func(i int) {
 		defer close(done[i])
 		if stopped.Load() {
 			return
 		}
-		results[i], errs[i] = runUnit(arts, units[i])
+		results[i], errs[i] = runUnit(ctx, arts, units[i])
 	})
 
 	if err := em.Begin(units); err != nil {
 		return stop(err)
 	}
 	for i := range units {
-		<-done[i]
+		select {
+		case <-done[i]:
+		case <-ctx.Done():
+			return stop(ctx.Err())
+		}
 		if errs[i] != nil {
 			return stop(errs[i])
 		}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -287,11 +288,11 @@ func TestAdmitLimitAxis(t *testing.T) {
 		t.Fatal(err)
 	}
 	arts := NewArtifacts(spec.Seed, spec.Scale, spec.ProfileTraces, spec.EvalTraces, 1)
-	free, err := runUnit(arts, units[0])
+	free, err := runUnit(context.Background(), arts, units[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := runUnit(arts, units[1])
+	serial, err := runUnit(context.Background(), arts, units[1])
 	if err != nil {
 		t.Fatal(err)
 	}

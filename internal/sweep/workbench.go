@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"context"
+
+	"addict/internal/core"
+	"addict/internal/pool"
+	"addict/internal/sched"
+	"addict/internal/sim"
+	"addict/internal/trace"
+)
+
+// Workbench is the session-level artifact cache: the shared Artifacts
+// (trace windows, migration-point profiles) plus memoized per-(workload,
+// mechanism) replay results on one fixed machine. It is the cache behind
+// both the figure pipeline (internal/exp wraps it) and the facade's
+// long-lived Engine sessions — promoted out of internal/exp so a session
+// can reuse what the experiment harness computes and vice versa.
+//
+// A Workbench is safe for concurrent use: every artifact is computed once
+// (single-flight) no matter how many callers request it at the same time,
+// every artifact's content is independent of the order, interleaving, or
+// worker count of the requests, and a computation aborted by context
+// cancellation is evicted instead of cached.
+type Workbench struct {
+	machine sim.Config
+	arts    *Artifacts
+	results pool.Flight[sim.Result]
+}
+
+// NewWorkbench wraps an artifact cache with per-mechanism result caching on
+// the given machine.
+func NewWorkbench(arts *Artifacts, machine sim.Config) *Workbench {
+	return &Workbench{machine: machine, arts: arts}
+}
+
+// Artifacts exposes the underlying shared artifact cache.
+func (w *Workbench) Artifacts() *Artifacts { return w.arts }
+
+// Machine returns the simulated hardware results are cached for.
+func (w *Workbench) Machine() sim.Config { return w.machine }
+
+// ProfileSet returns the workload's profiling trace window.
+func (w *Workbench) ProfileSet(ctx context.Context, name string) (*trace.Set, error) {
+	return w.arts.ProfileSet(ctx, name)
+}
+
+// EvalSet returns the workload's evaluation trace window.
+func (w *Workbench) EvalSet(ctx context.Context, name string) (*trace.Set, error) {
+	return w.arts.EvalSet(ctx, name)
+}
+
+// Profile returns the workload's Algorithm 1 output against the session
+// machine's L1-I geometry.
+func (w *Workbench) Profile(ctx context.Context, name string) (*core.Profile, error) {
+	return w.arts.Profile(ctx, name, w.machine)
+}
+
+// Result replays the workload's evaluation window under a mechanism at the
+// default load point, caching the outcome — repeated Schedule calls on one
+// session, and the figures sharing a replay (Figures 5, 6, 8b, 9), all hit
+// this cache. The replay goes through the sweep execution path
+// (Replay): a session's (workload, mechanism) point is the default-load
+// sweep unit on the session machine.
+func (w *Workbench) Result(ctx context.Context, name string, mech sched.Mechanism) (sim.Result, error) {
+	return w.results.Do(ctx, name+"\x00"+string(mech), func() (sim.Result, error) {
+		var prof *core.Profile
+		if mech == sched.ADDICT {
+			p, err := w.Profile(ctx, name)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			prof = p
+		}
+		set, err := w.EvalSet(ctx, name)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		u := NewUnit(name, mech, w.machine, 0, 0)
+		return Replay(u, set, prof)
+	})
+}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -522,6 +523,12 @@ func (w *bench) scan(txn *storage.Txn, tbl *storage.Table, p phaseParams) {
 // shardSize <= 0 selects workload.DefaultShardSize; workers < 1 runs
 // serially.
 func GenerateSetSharded(spec Spec, seed int64, scale float64, baseShard, n, shardSize, workers int) (*trace.Set, error) {
+	return GenerateSetShardedCtx(context.Background(), spec, seed, scale, baseShard, n, shardSize, workers)
+}
+
+// GenerateSetShardedCtx is GenerateSetSharded with cooperative cancellation
+// between shards (the same contract as workload.GenerateSetShardedWithCtx).
+func GenerateSetShardedCtx(ctx context.Context, spec Spec, seed int64, scale float64, baseShard, n, shardSize, workers int) (*trace.Set, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -529,7 +536,7 @@ func GenerateSetSharded(spec Spec, seed int64, scale float64, baseShard, n, shar
 	if shardSize <= 0 {
 		shardSize = workload.DefaultShardSize
 	}
-	return workload.GenerateSetShardedWith(func(shard int) *workload.Benchmark {
+	return workload.GenerateSetShardedWithCtx(ctx, func(shard int) *workload.Benchmark {
 		start := int64(shard)*int64(shardSize) - workload.ShardWarmup
 		b, err := newBench(spec, workload.ShardSeed(seed, shard), scale, start)
 		if err != nil {
@@ -538,5 +545,5 @@ func GenerateSetSharded(spec Spec, seed int64, scale float64, baseShard, n, shar
 			panic(err)
 		}
 		return b
-	}, baseShard, n, shardSize, workers), nil
+	}, baseShard, n, shardSize, workers)
 }
