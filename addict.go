@@ -449,10 +449,34 @@ func RunBench(cfg BenchConfig, progress io.Writer) (*BenchReport, error) {
 	return NewEngine(WithProgress(progress)).Bench(context.Background(), cfg)
 }
 
+// BenchGateConfig scopes a bench regression gate: a per-cell budget on
+// machine-independent normalized ratios (the primary check) and an
+// aggregate events/sec budget (the secondary, machine-dependent check).
+type BenchGateConfig = bench.GateConfig
+
+// BenchVerdict is a structured gate verdict: the per-cell table (raw
+// speedup, normalized ratio, floor, pass/fail), the worst cell, and the
+// aggregate check.
+type BenchVerdict = bench.Verdict
+
 // CompareBench pairs a current report with a recorded baseline (nil for
-// none) into the on-disk bench-file layout.
-func CompareBench(baseline, current *BenchReport) *BenchFile {
+// none) into the on-disk bench-file layout, computing the aggregate and
+// per-cell speedups. Baselines that did not measure the same thing — a
+// different seed/scale/trace window, different measurement bounds, or a
+// different (workload × mechanism) cell set — are refused.
+func CompareBench(baseline, current *BenchReport) (*BenchFile, error) {
 	return bench.Compare(baseline, current)
+}
+
+// GateBenchReports evaluates the per-cell, machine-independent regression
+// gate between two recorded reports: every cell's events/sec is normalized
+// by the same report's Baseline-mechanism cell on the same workload, so
+// the recording machines' absolute speed cancels out of the gated ratio,
+// and the gate fails on the worst cell rather than the aggregate. The
+// error covers pairs that cannot be judged (incomparable reports, missing
+// reference cells); a judged regression is a Verdict with Pass == false.
+func GateBenchReports(baseline, current *BenchReport, cfg BenchGateConfig) (*BenchVerdict, error) {
+	return bench.Gate(baseline, current, cfg)
 }
 
 // ReadBenchFile parses a BENCH_*.json file (or a bare report).

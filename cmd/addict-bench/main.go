@@ -13,17 +13,25 @@
 //	addict-bench -traces 500     # override trace counts
 //	addict-bench -list           # list experiment ids
 //	addict-bench -json BENCH.json                     # benchmark harness
-//	addict-bench -json BENCH_4.json -baseline BENCH_3.json
-//	addict-bench -json BENCH_ci.json -baseline BENCH_3.json -max-regress 0.15
+//	addict-bench -json BENCH_6.json -baseline BENCH_5.json
+//	addict-bench -json BENCH_ci.json -baseline BENCH_6.json \
+//	    -max-cell-regress 0.25 -max-regress 0.5 -verdict verdict.txt
 //
 // The full report runs on a worker pool (-parallel, default: all available
 // CPUs) and is byte-identical to the serial run (-parallel 1) — see the
 // determinism notes in package addict. The benchmark harness is strictly
 // serial so its cells are comparable across runs; -baseline embeds a
 // previous report (a BENCH_*.json or its "current" section) and records
-// the events/sec speedup against it. -max-regress turns the harness into
-// the CI regression gate: the run fails when events/sec drops more than
-// the given fraction below the baseline.
+// the aggregate and per-cell events/sec speedups against it — refusing
+// baselines that did not measure the same thing (different sizes,
+// measurement bounds, or cell sets). The gate flags turn the harness into
+// the CI regression gate: -max-cell-regress bounds every (workload ×
+// mechanism) cell's *normalized* ratio — each cell's events/sec divided by
+// the same run's Baseline-mechanism cell on the same workload, so the
+// runner's absolute speed cancels out — and fails on the worst cell;
+// -max-regress bounds the events-weighted aggregate speedup (machine-
+// dependent; kept as a secondary signal). The per-cell verdict table goes
+// to stderr, into the JSON report, and to the -verdict file when given.
 //
 // Ctrl-C cancels either mode between work items: the full report flushes
 // the sections already rendered as a clean partial report, the harness
@@ -45,18 +53,32 @@ import (
 
 func main() {
 	var (
-		expID      = flag.String("exp", "", "single experiment id (default: run everything)")
-		quick      = flag.Bool("quick", false, "reduced trace counts and database scale")
-		traces     = flag.Int("traces", 0, "override profiling/evaluation trace counts")
-		scale      = flag.Float64("scale", 0, "override database scale factor")
-		seed       = flag.Int64("seed", 0, "override workload seed")
-		parallel   = flag.Int("parallel", 0, "worker-pool size for the full report (<1 = all CPUs, 1 = serial; output is identical)")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		jsonOut    = flag.String("json", "", "run the replay benchmark harness and write the JSON report to this file (- = stdout)")
-		baseline   = flag.String("baseline", "", "previous BENCH_*.json (or bare report) to embed and compute the speedup against (with -json)")
-		maxRegress = flag.Float64("max-regress", 0, "fail when events/sec drops more than this fraction below the baseline (e.g. 0.15; requires -json and -baseline; 0 disables) — the CI bench-regression gate")
+		expID          = flag.String("exp", "", "single experiment id (default: run everything)")
+		quick          = flag.Bool("quick", false, "reduced trace counts and database scale")
+		traces         = flag.Int("traces", 0, "override profiling/evaluation trace counts")
+		scale          = flag.Float64("scale", 0, "override database scale factor")
+		seed           = flag.Int64("seed", 0, "override workload seed")
+		parallel       = flag.Int("parallel", 0, "worker-pool size for the full report (<1 = all CPUs, 1 = serial; output is identical)")
+		list           = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut        = flag.String("json", "", "run the replay benchmark harness and write the JSON report to this file (- = stdout)")
+		baseline       = flag.String("baseline", "", "previous BENCH_*.json (or bare report) to embed and compute the speedups against (with -json)")
+		maxRegress     = flag.Float64("max-regress", 0, "fail when aggregate events/sec drops more than this fraction below the baseline (machine-dependent secondary check; requires -json and -baseline; 0 disables)")
+		maxCellRegress = flag.Float64("max-cell-regress", 0, "fail when any (workload x mechanism) cell's Baseline-normalized ratio drops more than this fraction below the baseline's (machine-independent; fails on the worst cell; requires -json and -baseline; 0 disables) — the CI bench-regression gate")
+		verdictOut     = flag.String("verdict", "", "also write the per-cell gate verdict table to this file (with a gate flag)")
 	)
 	flag.Parse()
+	// The flag default 0 doubles as "not provided" for -seed and -scale,
+	// which would make an explicit zero unexpressible — distinguish by
+	// whether the flag was actually set.
+	seedSet, scaleSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			seedSet = true
+		case "scale":
+			scaleSet = true
+		}
+	})
 
 	// Ctrl-C cancels the run between work items (generation shards, bench
 	// cells, experiment sections): the sections already rendered flush as
@@ -67,7 +89,19 @@ func main() {
 	defer stop()
 
 	if *jsonOut != "" {
-		if err := runBenchHarness(ctx, *jsonOut, *baseline, *maxRegress, *traces, *scale, *seed); err != nil {
+		h := harnessFlags{
+			jsonOut:        *jsonOut,
+			baselinePath:   *baseline,
+			maxRegress:     *maxRegress,
+			maxCellRegress: *maxCellRegress,
+			verdictOut:     *verdictOut,
+			traces:         *traces,
+			scale:          *scale,
+			scaleSet:       scaleSet,
+			seed:           *seed,
+			seedSet:        seedSet,
+		}
+		if err := runBenchHarness(ctx, h); err != nil {
 			if ctx.Err() != nil {
 				sigctx.Exit("addict-bench")
 			}
@@ -76,8 +110,8 @@ func main() {
 		}
 		return
 	}
-	if *maxRegress != 0 {
-		fmt.Fprintln(os.Stderr, "addict-bench: -max-regress requires -json and -baseline")
+	if *maxRegress != 0 || *maxCellRegress != 0 {
+		fmt.Fprintln(os.Stderr, "addict-bench: -max-regress/-max-cell-regress require -json and -baseline")
 		os.Exit(2)
 	}
 
@@ -97,10 +131,14 @@ func main() {
 		p.EvalTraces = *traces
 		p.StabilityTraces = 10 * *traces
 	}
-	if *scale > 0 {
+	if scaleSet {
+		if *scale <= 0 {
+			fmt.Fprintln(os.Stderr, "addict-bench: -scale must be > 0")
+			os.Exit(2)
+		}
 		p.Scale = *scale
 	}
-	if *seed != 0 {
+	if seedSet {
 		p.Seed = *seed
 	}
 
@@ -128,40 +166,67 @@ func main() {
 	}
 }
 
+// harnessFlags carries the resolved -json mode flags.
+type harnessFlags struct {
+	jsonOut        string
+	baselinePath   string
+	maxRegress     float64
+	maxCellRegress float64
+	verdictOut     string
+	traces         int
+	scale          float64
+	scaleSet       bool
+	seed           int64
+	seedSet        bool
+}
+
 // runBenchHarness runs the internal/bench replay harness and writes the
-// BENCH_*.json file. Overrides of 0 keep the standard (comparable) sizes.
-// A non-zero maxRegress turns the run into a regression gate: it fails
-// when the current events/sec falls more than that fraction below the
-// baseline's.
-func runBenchHarness(ctx context.Context, jsonOut, baselinePath string, maxRegress float64, traces int, scale float64, seed int64) error {
-	if maxRegress < 0 || maxRegress >= 1 {
-		return fmt.Errorf("-max-regress %v outside [0, 1)", maxRegress)
+// BENCH_*.json file. Unset overrides keep the standard (comparable) sizes.
+// A non-zero maxCellRegress/maxRegress turns the run into the regression
+// gate: maxCellRegress bounds every cell's machine-independent normalized
+// ratio (failing on the worst cell), maxRegress bounds the aggregate
+// events/sec speedup. An incomparable baseline — different configuration,
+// measurement bounds, or cell set — is refused rather than judged.
+func runBenchHarness(ctx context.Context, h harnessFlags) error {
+	gating := h.maxRegress != 0 || h.maxCellRegress != 0
+	if h.maxRegress < 0 || h.maxRegress >= 1 {
+		return fmt.Errorf("-max-regress %v outside [0, 1)", h.maxRegress)
 	}
-	if maxRegress > 0 && baselinePath == "" {
-		return fmt.Errorf("-max-regress requires -baseline")
+	if h.maxCellRegress < 0 || h.maxCellRegress >= 1 {
+		return fmt.Errorf("-max-cell-regress %v outside [0, 1)", h.maxCellRegress)
+	}
+	if gating && h.baselinePath == "" {
+		return fmt.Errorf("-max-regress/-max-cell-regress require -baseline")
+	}
+	if h.verdictOut != "" && !gating {
+		return fmt.Errorf("-verdict requires a gate flag (-max-cell-regress or -max-regress)")
 	}
 	cfg := addict.DefaultBenchConfig()
-	if traces > 0 {
-		cfg.ProfileTraces = traces
-		cfg.EvalTraces = traces
+	if h.traces > 0 {
+		cfg.ProfileTraces = h.traces
+		cfg.EvalTraces = h.traces
 	}
-	if scale > 0 {
-		cfg.Scale = scale
+	if h.scaleSet {
+		if h.scale <= 0 {
+			return fmt.Errorf("-scale must be > 0")
+		}
+		cfg.Scale = h.scale
 	}
-	if seed != 0 {
-		cfg.Seed = seed
+	if h.seedSet {
+		cfg.Seed = h.seed
+		cfg.SeedSet = true
 	}
 
 	var base *addict.BenchReport
-	if baselinePath != "" {
-		bf, err := os.Open(baselinePath)
+	if h.baselinePath != "" {
+		bf, err := os.Open(h.baselinePath)
 		if err != nil {
 			return err
 		}
 		parsed, err := addict.ReadBenchFile(bf)
 		bf.Close()
 		if err != nil {
-			return fmt.Errorf("%s: %w", baselinePath, err)
+			return fmt.Errorf("%s: %w", h.baselinePath, err)
 		}
 		base = parsed.Current
 	}
@@ -171,15 +236,35 @@ func runBenchHarness(ctx context.Context, jsonOut, baselinePath string, maxRegre
 		addict.WithSeed(cfg.Seed), addict.WithScale(cfg.Scale),
 		addict.WithTraceWindows(cfg.ProfileTraces, cfg.EvalTraces, 0),
 		addict.WithProgress(os.Stderr))
-	rep, err := eng.Bench(ctx, cfg)
-	if err != nil {
-		return err
+
+	var (
+		file    *addict.BenchFile
+		verdict *addict.BenchVerdict
+		err     error
+	)
+	if gating {
+		file, verdict, err = eng.GateBench(ctx, cfg, base, addict.BenchGateConfig{
+			MaxCellRegress: h.maxCellRegress,
+			MaxRegress:     h.maxRegress,
+		})
+		if err != nil {
+			return fmt.Errorf("gate vs %s: %w", h.baselinePath, err)
+		}
+	} else {
+		var rep *addict.BenchReport
+		rep, err = eng.Bench(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		file, err = addict.CompareBench(base, rep)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", h.baselinePath, err)
+		}
 	}
-	file := addict.CompareBench(base, rep)
 
 	w := os.Stdout
-	if jsonOut != "-" {
-		f, err := os.Create(jsonOut)
+	if h.jsonOut != "-" {
+		f, err := os.Create(h.jsonOut)
 		if err != nil {
 			return err
 		}
@@ -189,32 +274,33 @@ func runBenchHarness(ctx context.Context, jsonOut, baselinePath string, maxRegre
 	if err := file.WriteJSON(w); err != nil {
 		return err
 	}
+	rep := file.Current
 	fmt.Fprintf(os.Stderr, "replay: %.2fM events/sec (%.1f ns/event)",
 		rep.Replay.EventsPerSec/1e6, rep.Replay.NsPerEvent)
 	if file.SpeedupEventsPerSec > 0 {
 		fmt.Fprintf(os.Stderr, ", %.2fx vs baseline", file.SpeedupEventsPerSec)
 	}
 	fmt.Fprintf(os.Stderr, " (%v)\n", time.Since(start).Round(time.Millisecond))
-	if maxRegress > 0 {
-		// An events/sec ratio only means something when both reports
-		// measured the same thing: gate refuses mismatched configurations
-		// instead of judging an apples-to-oranges ratio.
-		if base.Seed != rep.Seed || base.Scale != rep.Scale ||
-			base.ProfileTraces != rep.ProfileTraces || base.EvalTraces != rep.EvalTraces {
-			return fmt.Errorf("-max-regress: baseline %s measured (seed=%d scale=%v traces=%d/%d), this run (seed=%d scale=%v traces=%d/%d) — not comparable",
-				baselinePath, base.Seed, base.Scale, base.ProfileTraces, base.EvalTraces,
-				rep.Seed, rep.Scale, rep.ProfileTraces, rep.EvalTraces)
+	if verdict != nil {
+		if err := verdict.WriteTable(os.Stderr); err != nil {
+			return err
 		}
-		floor := 1 - maxRegress
-		if file.SpeedupEventsPerSec == 0 {
-			return fmt.Errorf("-max-regress: baseline %s carries no events/sec to gate against", baselinePath)
+		if h.verdictOut != "" {
+			vf, err := os.Create(h.verdictOut)
+			if err != nil {
+				return err
+			}
+			werr := verdict.WriteTable(vf)
+			if cerr := vf.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
 		}
-		if file.SpeedupEventsPerSec < floor {
-			return fmt.Errorf("performance regression: %.2fx of baseline events/sec is below the %.2fx floor (max regression %.0f%%)",
-				file.SpeedupEventsPerSec, floor, maxRegress*100)
+		if !verdict.Pass {
+			return fmt.Errorf("performance regression: %s", verdict.Summary())
 		}
-		fmt.Fprintf(os.Stderr, "regression gate passed: %.2fx >= %.2fx floor\n",
-			file.SpeedupEventsPerSec, floor)
 	}
 	return nil
 }

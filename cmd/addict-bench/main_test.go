@@ -64,7 +64,7 @@ func TestBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &file); err != nil {
 		t.Fatalf("parsing %s: %v", first, err)
 	}
-	if file.Current == nil || file.Current.Schema != "addict-bench/v1" {
+	if file.Current == nil || file.Current.Schema != "addict-bench/v2" {
 		t.Fatalf("bad schema in %s", data)
 	}
 	if file.Current.Replay.EventsPerSec <= 0 || file.Current.Replay.Events == 0 {
@@ -110,7 +110,7 @@ func TestMaxRegressGate(t *testing.T) {
 	out := filepath.Join(dir, "gated.json")
 	_, stderr := cmdtest.Run(t, exe, "-json", out, "-baseline", base,
 		"-traces", "8", "-scale", "0.05", "-max-regress", "0.6")
-	if !strings.Contains(stderr, "regression gate passed") {
+	if !strings.Contains(stderr, "gate PASS") {
 		t.Errorf("gate pass not reported:\n%s", stderr)
 	}
 
@@ -163,6 +163,132 @@ func TestMaxRegressGate(t *testing.T) {
 	}
 	if err := exec.Command(exe, "-json", filepath.Join(dir, "x.json"), "-max-regress", "0.15").Run(); err == nil {
 		t.Error("-max-regress without -baseline accepted")
+	}
+	if err := exec.Command(exe, "-max-cell-regress", "0.15").Run(); err == nil {
+		t.Error("-max-cell-regress without -json accepted")
+	}
+}
+
+// TestMaxCellRegressGate exercises the per-cell normalized gate at the
+// command level: a run against its own recent report passes and writes
+// the verdict into the JSON report and the -verdict file; a baseline with
+// one non-reference cell inflated — a single-cell regression the
+// aggregate barely notices — fails on exactly that cell.
+func TestMaxCellRegressGate(t *testing.T) {
+	exe := cmdtest.Build(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cmdtest.Run(t, exe, "-json", base, "-traces", "8", "-scale", "0.05")
+
+	// Pass case: generous per-cell floor, verdict table lands everywhere.
+	out := filepath.Join(dir, "gated.json")
+	verdictTxt := filepath.Join(dir, "verdict.txt")
+	_, stderr := cmdtest.Run(t, exe, "-json", out, "-baseline", base,
+		"-traces", "8", "-scale", "0.05", "-max-cell-regress", "0.9", "-verdict", verdictTxt)
+	if !strings.Contains(stderr, "gate PASS") {
+		t.Errorf("per-cell gate pass not reported:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "per-cell gate") {
+		t.Errorf("verdict table missing from stderr:\n%s", stderr)
+	}
+	vt, err := os.ReadFile(verdictTxt)
+	if err != nil || !strings.Contains(string(vt), "per-cell gate") {
+		t.Errorf("-verdict file missing or empty: %v\n%s", err, vt)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gated struct {
+		Gate *struct {
+			Pass  bool `json:"pass"`
+			Cells []struct {
+				Workload  string  `json:"workload"`
+				Mechanism string  `json:"mechanism"`
+				NormRatio float64 `json:"norm_ratio"`
+			} `json:"cells"`
+		} `json:"gate"`
+		SpeedupCells []struct {
+			Speedup float64 `json:"speedup_events_per_sec"`
+		} `json:"speedup_cells"`
+	}
+	if err := json.Unmarshal(data, &gated); err != nil {
+		t.Fatal(err)
+	}
+	if gated.Gate == nil || !gated.Gate.Pass || len(gated.Gate.Cells) != 5*4 {
+		t.Fatalf("JSON report missing the gate verdict: %s", data)
+	}
+	if len(gated.SpeedupCells) != 5*4 {
+		t.Fatalf("%d per-cell speedups in JSON report, want %d", len(gated.SpeedupCells), 5*4)
+	}
+
+	// Fail case: inflate one non-reference cell of the baseline 4x. The
+	// aggregate moves a little; the normalized ratio for that one cell
+	// drops to ~0.25 and the per-cell gate must fail on it.
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	cells := f["current"].(map[string]any)["cells"].([]any)
+	bumped := ""
+	for _, c := range cells {
+		cell := c.(map[string]any)
+		if cell["mechanism"].(string) == "STREX" {
+			cell["events_per_sec"] = cell["events_per_sec"].(float64) * 4
+			bumped = cell["workload"].(string) + "/STREX"
+			break
+		}
+	}
+	if bumped == "" {
+		t.Fatal("no STREX cell found to inflate")
+	}
+	inflated, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := filepath.Join(dir, "cell-inflated.json")
+	if err := os.WriteFile(slow, inflated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-json", filepath.Join(dir, "fail.json"), "-baseline", slow,
+		"-traces", "8", "-scale", "0.05", "-max-cell-regress", "0.5")
+	outb, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("per-cell gate passed a 4x single-cell baseline inflation:\n%s", outb)
+	}
+	if !strings.Contains(string(outb), "performance regression") || !strings.Contains(string(outb), bumped) {
+		t.Errorf("failure output missing diagnosis of worst cell %s:\n%s", bumped, outb)
+	}
+}
+
+// TestZeroSeedFlag: an explicit -seed 0 must reach the harness as seed 0
+// instead of being swallowed by the zero-means-default sentinel.
+func TestZeroSeedFlag(t *testing.T) {
+	exe := cmdtest.Build(t)
+	out := filepath.Join(t.TempDir(), "seed0.json")
+	cmdtest.Run(t, exe, "-json", out, "-seed", "0", "-traces", "6", "-scale", "0.05")
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Current *struct {
+			Seed    int64 `json:"seed"`
+			MinRuns int   `json:"min_runs"`
+		} `json:"current"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Current == nil || file.Current.Seed != 0 {
+		t.Fatalf("explicit -seed 0 recorded as seed %+v, want 0", file.Current)
+	}
+	if file.Current.MinRuns == 0 {
+		t.Errorf("report does not record its measurement bounds")
 	}
 }
 

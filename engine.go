@@ -261,6 +261,13 @@ func (e *Engine) inheritBase(seed *int64, scale *float64, profileTraces, evalTra
 func (e *Engine) Bench(ctx context.Context, cfg BenchConfig) (*BenchReport, error) {
 	resolved := cfg
 	e.inheritBase(&resolved.Seed, &resolved.Scale, &resolved.ProfileTraces, &resolved.EvalTraces)
+	if cfg.SeedSet {
+		// An explicit zero seed is a value, not "inherit": undo the
+		// zero-means-inherit resolution and keep it explicit downstream so
+		// the harness does not re-default it either.
+		resolved.Seed = cfg.Seed
+	}
+	resolved.SeedSet = true
 	if resolved.Machine.Cores == 0 {
 		resolved.Machine = e.machine
 	}
@@ -272,6 +279,35 @@ func (e *Engine) Bench(ctx context.Context, cfg BenchConfig) (*BenchReport, erro
 		arts = e.wb.Artifacts()
 	}
 	return bench.RunWith(ctx, resolved, e.progress, arts)
+}
+
+// GateBench runs the benchmark harness on the session (see Bench) and
+// gates the fresh report against a recorded baseline: per-cell speedups
+// are computed, each cell's events/sec is normalized by the same run's
+// Baseline-mechanism cell on the same workload so machine speed cancels
+// out of the gated ratio, and the gate fails on the worst cell rather
+// than the aggregate. The returned file carries the verdict (for the
+// BENCH_*.json artifact); the error covers runs and pairs that cannot be
+// judged — an incomparable baseline (different config, measurement
+// bounds, or cell set) is refused, not compared. A judged regression is
+// not an error: inspect Verdict.Pass.
+func (e *Engine) GateBench(ctx context.Context, cfg BenchConfig, baseline *BenchReport, gate BenchGateConfig) (*BenchFile, *BenchVerdict, error) {
+	if baseline == nil {
+		return nil, nil, fmt.Errorf("addict: GateBench requires a baseline report")
+	}
+	rep, err := e.Bench(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	file, err := bench.Compare(baseline, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	verdict, err := file.ApplyGate(gate)
+	if err != nil {
+		return nil, nil, err
+	}
+	return file, verdict, nil
 }
 
 // Experiments regenerates the paper's evaluation on the session's

@@ -327,6 +327,54 @@ func TestEngineBenchSharesSession(t *testing.T) {
 	}
 }
 
+// TestEngineGateBench: the session gate runs the harness and judges the
+// fresh report per cell against the baseline, recording the verdict in
+// the returned file; nil and incomparable baselines are refused.
+func TestEngineGateBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the bench harness")
+	}
+	e := tinyEngine(2)
+	ctx := context.Background()
+	cfg := BenchConfig{
+		Workloads:   []string{"TPC-B"},
+		MinRuns:     1,
+		MinDuration: time.Millisecond,
+	}
+	base, err := e.Bench(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, verdict, err := e.GateBench(ctx, cfg, base, BenchGateConfig{MaxCellRegress: 0.9, MaxRegress: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Pass {
+		t.Errorf("self-comparison failed a 90%% budget: %s", verdict.Summary())
+	}
+	if file.Gate != verdict || len(verdict.Cells) != len(Mechanisms) {
+		t.Errorf("verdict not recorded in the file or wrong cell count: %d", len(verdict.Cells))
+	}
+	if _, _, err := e.GateBench(ctx, cfg, nil, BenchGateConfig{MaxCellRegress: 0.9}); err == nil {
+		t.Error("nil baseline accepted")
+	}
+
+	// An explicit zero seed is a value, not "inherit the session".
+	zero := cfg
+	zero.Seed, zero.SeedSet = 0, true
+	rep0, err := e.Bench(ctx, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep0.Seed != 0 {
+		t.Errorf("explicit zero seed resolved to %d, want 0", rep0.Seed)
+	}
+	// ... and the resulting report is not comparable to the seed-5 one.
+	if _, _, err := e.GateBench(ctx, cfg, rep0, BenchGateConfig{MaxCellRegress: 0.9}); err == nil {
+		t.Error("mismatched-seed baseline accepted")
+	}
+}
+
 // TestDeprecatedWrappersStillServe keeps the v1 surface alive end to end:
 // each wrapper must produce the same artifacts as its Engine counterpart.
 func TestDeprecatedWrappersStillServe(t *testing.T) {

@@ -4,7 +4,9 @@
 // and emits machine-readable reports so each PR leaves a performance
 // trajectory (BENCH_*.json) the next one must beat. cmd/addict-bench -json
 // is the command-line entry point; Compare pairs a current report with a
-// recorded baseline and computes the speedup.
+// recorded baseline and computes aggregate and per-cell speedups, refusing
+// pairs that did not measure the same thing; Gate turns the pair into a
+// per-cell, machine-independent regression verdict (see gate.go).
 package bench
 
 import (
@@ -34,7 +36,12 @@ type Config struct {
 	Mechanisms []sched.Mechanism
 	// Seed/Scale/ProfileTraces/EvalTraces mirror exp.Params (defaults:
 	// the quick evaluation sizes, so cells are comparable across PRs).
+	//
+	// A zero Seed selects the default (42) unless SeedSet marks the zero
+	// intentional, so seed 0 stays expressible — the other zero values
+	// (Scale, trace counts) have no meaningful zero and always default.
 	Seed          int64
+	SeedSet       bool
 	Scale         float64
 	ProfileTraces int
 	EvalTraces    int
@@ -121,14 +128,29 @@ type Report struct {
 	ProfileTraces int     `json:"profile_traces"`
 	EvalTraces    int     `json:"eval_traces"`
 
+	// MinRuns and MinDuration record the measurement bounds each cell was
+	// timed under (schema v2 onward; zero in older reports), so a gate can
+	// detect baseline/current pairs whose cells were measured to different
+	// standards before judging their ratio.
+	MinRuns     int           `json:"min_runs,omitempty"`
+	MinDuration time.Duration `json:"min_duration_ns,omitempty"`
+
 	// Replay is the headline aggregate ("the replay benchmark"): every
 	// cell's events over every cell's seconds.
 	Replay Summary `json:"replay"`
 	Cells  []Cell  `json:"cells"`
 }
 
-// schemaID tags reports so future format changes stay detectable.
-const schemaID = "addict-bench/v1"
+// schemaID tags reports so future format changes stay detectable. v2 adds
+// the measurement bounds (min_runs/min_duration_ns); v1 reports are still
+// readable — their bounds parse as zero ("unrecorded").
+const schemaID = "addict-bench/v2"
+
+// knownSchemas are the report formats ReadFile accepts.
+var knownSchemas = map[string]bool{
+	"addict-bench/v1": true,
+	"addict-bench/v2": true,
+}
 
 // Run executes the harness and returns the report. Progress lines go to
 // progress when non-nil (one per cell; measurement noise is easier to
@@ -176,6 +198,8 @@ func RunWith(ctx context.Context, cfg Config, progress io.Writer, arts *sweep.Ar
 		Scale:         cfg.Scale,
 		ProfileTraces: cfg.ProfileTraces,
 		EvalTraces:    cfg.EvalTraces,
+		MinRuns:       cfg.MinRuns,
+		MinDuration:   cfg.MinDuration,
 	}
 	for _, name := range cfg.Workloads {
 		set, err := arts.EvalSet(ctx, name)
@@ -218,9 +242,10 @@ func withDefaults(cfg Config) Config {
 	if len(cfg.Mechanisms) == 0 {
 		cfg.Mechanisms = def.Mechanisms
 	}
-	if cfg.Seed == 0 {
+	if cfg.Seed == 0 && !cfg.SeedSet {
 		cfg.Seed = def.Seed
 	}
+	cfg.SeedSet = true
 	if cfg.Scale == 0 {
 		cfg.Scale = def.Scale
 	}
@@ -400,18 +425,57 @@ type File struct {
 	Baseline *Report `json:"baseline,omitempty"`
 	Current  *Report `json:"current"`
 	// SpeedupEventsPerSec is Current.Replay.EventsPerSec over
-	// Baseline.Replay.EventsPerSec (0 when no baseline is recorded).
+	// Baseline.Replay.EventsPerSec (0 when no baseline is recorded). It is
+	// the events-weighted aggregate: a win on a heavy cell can mask a loss
+	// on a light one, which is why the per-cell Gate exists.
 	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
+	// SpeedupCells are the per-(workload × mechanism) raw speedups, in the
+	// current report's cell order. Raw speedups compare absolute events/sec
+	// across the two reports, so they carry the recording machines' speed
+	// difference; the Gate's normalized ratios cancel it.
+	SpeedupCells []CellSpeedup `json:"speedup_cells,omitempty"`
+	// Gate is the per-cell regression verdict, recorded when the file was
+	// produced by a gated run (ApplyGate).
+	Gate *Verdict `json:"gate,omitempty"`
+}
+
+// CellSpeedup is one cell's raw events/sec ratio between two reports.
+type CellSpeedup struct {
+	Workload  string  `json:"workload"`
+	Mechanism string  `json:"mechanism"`
+	Speedup   float64 `json:"speedup_events_per_sec"`
 }
 
 // Compare builds the on-disk file from a current report and an optional
-// baseline.
-func Compare(baseline, current *Report) *File {
+// baseline, computing the aggregate and per-cell speedups. A baseline that
+// did not measure the same thing as the current report — different
+// seed/scale/trace windows, different measurement bounds, or a different
+// cell set (the BENCH_3-vs-BENCH_5 trap: TPC-only versus TPC+synth
+// aggregates) — is refused instead of silently compared.
+func Compare(baseline, current *Report) (*File, error) {
 	f := &File{Baseline: baseline, Current: current}
-	if baseline != nil && baseline.Replay.EventsPerSec > 0 {
+	if baseline == nil {
+		return f, nil
+	}
+	if err := Comparable(baseline, current); err != nil {
+		return nil, err
+	}
+	if baseline.Replay.EventsPerSec > 0 {
 		f.SpeedupEventsPerSec = current.Replay.EventsPerSec / baseline.Replay.EventsPerSec
 	}
-	return f
+	base := cellIndex(baseline)
+	for _, c := range current.Cells {
+		b := base[cellKey{c.Workload, c.Mechanism}]
+		if b.EventsPerSec <= 0 {
+			return nil, fmt.Errorf("bench: baseline cell %s/%s carries no events/sec", c.Workload, c.Mechanism)
+		}
+		f.SpeedupCells = append(f.SpeedupCells, CellSpeedup{
+			Workload:  c.Workload,
+			Mechanism: c.Mechanism,
+			Speedup:   c.EventsPerSec / b.EventsPerSec,
+		})
+	}
+	return f, nil
 }
 
 // WriteJSON writes a bench file as indented JSON.
@@ -423,25 +487,47 @@ func (f *File) WriteJSON(w io.Writer) error {
 
 // ReadFile parses a bench file. A bare Report (no current/baseline
 // wrapper) is accepted too, so a previous run's report can serve directly
-// as a baseline.
+// as a baseline. Both schema versions parse (v1 reports simply carry no
+// measurement bounds).
 func ReadFile(r io.Reader) (*File, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
 	var f File
-	if err := json.Unmarshal(data, &f); err == nil && f.Current != nil {
-		if f.Current.Schema != schemaID {
-			return nil, fmt.Errorf("bench: unknown schema %q", f.Current.Schema)
+	if err := json.Unmarshal(data, &f); err == nil {
+		if f.Current != nil {
+			if err := checkSchema(f.Current.Schema); err != nil {
+				return nil, err
+			}
+			if f.Baseline != nil {
+				if err := checkSchema(f.Baseline.Schema); err != nil {
+					return nil, fmt.Errorf("embedded baseline: %w", err)
+				}
+			}
+			return &f, nil
 		}
-		return &f, nil
+		if f.Baseline != nil {
+			// A wrapper with only a baseline used to fall through to the
+			// bare-Report parse and report `unknown schema ""` — say what
+			// is actually wrong.
+			return nil, fmt.Errorf("bench: file carries a baseline but no current report")
+		}
 	}
 	var rep Report
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("bench: not a bench file or report: %w", err)
 	}
-	if rep.Schema != schemaID {
-		return nil, fmt.Errorf("bench: unknown schema %q", rep.Schema)
+	if err := checkSchema(rep.Schema); err != nil {
+		return nil, err
 	}
 	return &File{Current: &rep}, nil
+}
+
+// checkSchema validates a report's schema tag against the known formats.
+func checkSchema(schema string) error {
+	if !knownSchemas[schema] {
+		return fmt.Errorf("bench: unknown schema %q", schema)
+	}
+	return nil
 }

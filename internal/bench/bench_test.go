@@ -100,7 +100,11 @@ func TestRunProducesReport(t *testing.T) {
 
 	// Round-trip the file layout, with and without a baseline.
 	var buf bytes.Buffer
-	if err := Compare(nil, rep).WriteJSON(&buf); err != nil {
+	noBase, err := Compare(nil, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noBase.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
 	parsed, err := ReadFile(&buf)
@@ -110,9 +114,20 @@ func TestRunProducesReport(t *testing.T) {
 	if parsed.Current == nil || parsed.Current.Replay.Events != rep.Replay.Events {
 		t.Fatalf("file round trip lost the report")
 	}
-	withBase := Compare(parsed.Current, rep)
+	withBase, err := Compare(parsed.Current, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if withBase.SpeedupEventsPerSec <= 0 {
 		t.Fatalf("speedup not computed: %+v", withBase.SpeedupEventsPerSec)
+	}
+	if len(withBase.SpeedupCells) != len(rep.Cells) {
+		t.Fatalf("%d per-cell speedups, want %d", len(withBase.SpeedupCells), len(rep.Cells))
+	}
+	for _, s := range withBase.SpeedupCells {
+		if s.Speedup <= 0 {
+			t.Fatalf("degenerate per-cell speedup %+v", s)
+		}
 	}
 
 	// A bare report (no current/baseline wrapper) must be accepted as a

@@ -1,0 +1,344 @@
+// The per-cell, machine-independent regression gate. The paper's entire
+// contribution is a per-mechanism, per-workload comparison, so the gate
+// judges every (workload × mechanism) cell instead of one events-weighted
+// aggregate (where a 2x win on a heavy cell can mask a 50% regression on a
+// light one), and it judges machine-independent ratios: each cell's
+// events/sec is first normalized by the same report's Baseline-mechanism
+// cell on the same workload — the paper's own in-run-reference trick —
+// so a runner that is uniformly k× faster multiplies numerator and
+// denominator alike and k cancels out of the gated ratio.
+
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"addict/internal/sched"
+)
+
+// ReferenceMechanism is the in-run normalization reference: every cell's
+// events/sec is divided by this mechanism's cell on the same workload in
+// the same report. Both gated reports must carry it for every workload.
+const ReferenceMechanism = string(sched.Baseline)
+
+// GateConfig scopes one gate evaluation. The zero value disables both
+// checks; Gate requires at least one to be enabled.
+type GateConfig struct {
+	// MaxCellRegress is the per-cell budget on the *normalized* ratio: a
+	// cell fails when current_norm/baseline_norm < 1-MaxCellRegress. This
+	// is the primary, machine-independent check. 0 disables it.
+	MaxCellRegress float64
+	// MaxRegress is the budget on the aggregate events/sec speedup — the
+	// pre-gate check, kept as a secondary signal. It compares absolute
+	// throughput across the two recording machines, so part of its budget
+	// absorbs machine-speed variance; a uniform slowdown of every
+	// mechanism (which normalized ratios cannot see) only trips here.
+	// 0 disables it.
+	MaxRegress float64
+}
+
+// GateCell is one row of the gate's verdict table.
+type GateCell struct {
+	Workload  string `json:"workload"`
+	Mechanism string `json:"mechanism"`
+	// BaselineEventsPerSec/CurrentEventsPerSec are the raw measurements;
+	// RawSpeedup is their machine-dependent ratio.
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec"`
+	CurrentEventsPerSec  float64 `json:"current_events_per_sec"`
+	RawSpeedup           float64 `json:"raw_speedup"`
+	// BaselineNorm/CurrentNorm are each report's events/sec divided by the
+	// same report's ReferenceMechanism cell on the same workload;
+	// NormRatio is CurrentNorm/BaselineNorm — the machine-independent
+	// quantity the per-cell floor judges. Reference cells normalize to 1
+	// by construction and can never fail the per-cell check.
+	BaselineNorm float64 `json:"baseline_norm"`
+	CurrentNorm  float64 `json:"current_norm"`
+	NormRatio    float64 `json:"norm_ratio"`
+	// Floor is 1-MaxCellRegress (0 when the per-cell check is disabled).
+	Floor float64 `json:"floor,omitempty"`
+	Pass  bool    `json:"pass"`
+}
+
+// Verdict is one gate evaluation: the per-cell table plus the aggregate
+// check, in the current report's deterministic cell order — two gate runs
+// over the same pair of reports produce byte-identical verdicts.
+type Verdict struct {
+	ReferenceMechanism string     `json:"reference_mechanism"`
+	CellFloor          float64    `json:"cell_floor,omitempty"`
+	AggregateFloor     float64    `json:"aggregate_floor,omitempty"`
+	Cells              []GateCell `json:"cells"`
+	// Worst* name the cell with the smallest normalized ratio — the cell
+	// the gate fails on when it fails.
+	WorstWorkload  string  `json:"worst_workload"`
+	WorstMechanism string  `json:"worst_mechanism"`
+	WorstNormRatio float64 `json:"worst_norm_ratio"`
+	// AggregateSpeedup is the events-weighted raw speedup (the old gate's
+	// only signal, now secondary).
+	AggregateSpeedup float64 `json:"aggregate_speedup"`
+	AggregatePass    bool    `json:"aggregate_pass"`
+	Pass             bool    `json:"pass"`
+}
+
+// cellKey identifies one cell across reports.
+type cellKey struct{ workload, mechanism string }
+
+// cellIndex maps a report's cells by (workload, mechanism).
+func cellIndex(r *Report) map[cellKey]Cell {
+	idx := make(map[cellKey]Cell, len(r.Cells))
+	for _, c := range r.Cells {
+		idx[cellKey{c.Workload, c.Mechanism}] = c
+	}
+	return idx
+}
+
+// Comparable reports whether two reports measured the same thing, i.e.
+// whether any ratio between them means anything: same seed, scale, and
+// trace windows; same measurement bounds (when both recorded them — v1
+// baselines carry none and are accepted as "bounds unrecorded"); and the
+// same (workload × mechanism) cell set. A nil error means comparable.
+func Comparable(baseline, current *Report) error {
+	if baseline == nil || current == nil {
+		return fmt.Errorf("bench: not comparable: nil report")
+	}
+	if baseline.Seed != current.Seed || baseline.Scale != current.Scale ||
+		baseline.ProfileTraces != current.ProfileTraces || baseline.EvalTraces != current.EvalTraces {
+		return fmt.Errorf("bench: not comparable: baseline measured (seed=%d scale=%v traces=%d/%d), current (seed=%d scale=%v traces=%d/%d)",
+			baseline.Seed, baseline.Scale, baseline.ProfileTraces, baseline.EvalTraces,
+			current.Seed, current.Scale, current.ProfileTraces, current.EvalTraces)
+	}
+	if baseline.MinRuns != 0 && baseline.MinRuns != current.MinRuns {
+		return fmt.Errorf("bench: not comparable: baseline cells measured with min %d runs, current with %d",
+			baseline.MinRuns, current.MinRuns)
+	}
+	if baseline.MinDuration != 0 && baseline.MinDuration != current.MinDuration {
+		return fmt.Errorf("bench: not comparable: baseline cells measured for min %v, current for %v",
+			baseline.MinDuration, current.MinDuration)
+	}
+	return sameCellSets(baseline, current)
+}
+
+// sameCellSets refuses baseline/current pairs whose (workload × mechanism)
+// sets differ — aggregates over different cell sets (BENCH_3's TPC-only
+// cells versus a TPC+synth run) are not comparable, and a per-cell gate
+// has nothing to pair the odd cells with.
+func sameCellSets(baseline, current *Report) error {
+	seen := func(r *Report, label string) (map[cellKey]bool, error) {
+		set := make(map[cellKey]bool, len(r.Cells))
+		for _, c := range r.Cells {
+			k := cellKey{c.Workload, c.Mechanism}
+			if set[k] {
+				return nil, fmt.Errorf("bench: %s report carries duplicate cell %s/%s", label, c.Workload, c.Mechanism)
+			}
+			set[k] = true
+		}
+		return set, nil
+	}
+	b, err := seen(baseline, "baseline")
+	if err != nil {
+		return err
+	}
+	c, err := seen(current, "current")
+	if err != nil {
+		return err
+	}
+	var missing, extra []string
+	for k := range b {
+		if !c[k] {
+			missing = append(missing, k.workload+"/"+k.mechanism)
+		}
+	}
+	for k := range c {
+		if !b[k] {
+			extra = append(extra, k.workload+"/"+k.mechanism)
+		}
+	}
+	if len(missing) == 0 && len(extra) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	var parts []string
+	if len(missing) > 0 {
+		parts = append(parts, fmt.Sprintf("baseline-only cells: %s", strings.Join(missing, ", ")))
+	}
+	if len(extra) > 0 {
+		parts = append(parts, fmt.Sprintf("current-only cells: %s", strings.Join(extra, ", ")))
+	}
+	return fmt.Errorf("bench: not comparable: cell sets differ (%s)", strings.Join(parts, "; "))
+}
+
+// referenceCells maps each workload to its ReferenceMechanism events/sec;
+// a workload without a positive reference cell makes normalization — and
+// therefore the gate — impossible.
+func referenceCells(r *Report, label string) (map[string]float64, error) {
+	refs := make(map[string]float64)
+	for _, c := range r.Cells {
+		if c.Mechanism == ReferenceMechanism {
+			refs[c.Workload] = c.EventsPerSec
+		}
+	}
+	for _, c := range r.Cells {
+		if refs[c.Workload] <= 0 {
+			return nil, fmt.Errorf("bench: %s report has no %s reference cell for workload %s — the normalized gate needs the %s mechanism in every gated run",
+				label, ReferenceMechanism, c.Workload, ReferenceMechanism)
+		}
+	}
+	return refs, nil
+}
+
+// Gate evaluates the per-cell regression gate between two reports. It
+// returns an error when the pair cannot be judged at all — incomparable
+// reports, a missing reference cell, or a config with no enabled check —
+// and otherwise a Verdict whose Pass reflects every enabled check; the
+// per-cell check fails on the worst cell's normalized ratio.
+func Gate(baseline, current *Report, cfg GateConfig) (*Verdict, error) {
+	if cfg.MaxCellRegress < 0 || cfg.MaxCellRegress >= 1 {
+		return nil, fmt.Errorf("bench: gate: max cell regression %v outside [0, 1)", cfg.MaxCellRegress)
+	}
+	if cfg.MaxRegress < 0 || cfg.MaxRegress >= 1 {
+		return nil, fmt.Errorf("bench: gate: max aggregate regression %v outside [0, 1)", cfg.MaxRegress)
+	}
+	if cfg.MaxCellRegress == 0 && cfg.MaxRegress == 0 {
+		return nil, fmt.Errorf("bench: gate: no check enabled (both budgets zero)")
+	}
+	if err := Comparable(baseline, current); err != nil {
+		return nil, err
+	}
+	baseRefs, err := referenceCells(baseline, "baseline")
+	if err != nil {
+		return nil, err
+	}
+	curRefs, err := referenceCells(current, "current")
+	if err != nil {
+		return nil, err
+	}
+
+	v := &Verdict{
+		ReferenceMechanism: ReferenceMechanism,
+		Pass:               true,
+		AggregatePass:      true,
+	}
+	if cfg.MaxCellRegress > 0 {
+		v.CellFloor = 1 - cfg.MaxCellRegress
+	}
+	if cfg.MaxRegress > 0 {
+		v.AggregateFloor = 1 - cfg.MaxRegress
+	}
+
+	base := cellIndex(baseline)
+	for _, c := range current.Cells {
+		b := base[cellKey{c.Workload, c.Mechanism}]
+		if b.EventsPerSec <= 0 || c.EventsPerSec <= 0 {
+			return nil, fmt.Errorf("bench: gate: cell %s/%s carries no events/sec", c.Workload, c.Mechanism)
+		}
+		gc := GateCell{
+			Workload:             c.Workload,
+			Mechanism:            c.Mechanism,
+			BaselineEventsPerSec: b.EventsPerSec,
+			CurrentEventsPerSec:  c.EventsPerSec,
+			RawSpeedup:           c.EventsPerSec / b.EventsPerSec,
+			BaselineNorm:         b.EventsPerSec / baseRefs[c.Workload],
+			CurrentNorm:          c.EventsPerSec / curRefs[c.Workload],
+			Floor:                v.CellFloor,
+			Pass:                 true,
+		}
+		gc.NormRatio = gc.CurrentNorm / gc.BaselineNorm
+		if v.CellFloor > 0 && gc.NormRatio < v.CellFloor {
+			gc.Pass = false
+			v.Pass = false
+		}
+		if v.WorstWorkload == "" || gc.NormRatio < v.WorstNormRatio {
+			v.WorstWorkload = gc.Workload
+			v.WorstMechanism = gc.Mechanism
+			v.WorstNormRatio = gc.NormRatio
+		}
+		v.Cells = append(v.Cells, gc)
+	}
+
+	if baseline.Replay.EventsPerSec <= 0 {
+		return nil, fmt.Errorf("bench: gate: baseline carries no aggregate events/sec")
+	}
+	v.AggregateSpeedup = current.Replay.EventsPerSec / baseline.Replay.EventsPerSec
+	if v.AggregateFloor > 0 && v.AggregateSpeedup < v.AggregateFloor {
+		v.AggregatePass = false
+		v.Pass = false
+	}
+	return v, nil
+}
+
+// ApplyGate evaluates the gate over the file's baseline/current pair and
+// records the verdict in the file, so the emitted BENCH_*.json carries the
+// judgment it was produced under.
+func (f *File) ApplyGate(cfg GateConfig) (*Verdict, error) {
+	if f.Baseline == nil {
+		return nil, fmt.Errorf("bench: gate: file carries no baseline to gate against")
+	}
+	v, err := Gate(f.Baseline, f.Current, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.Gate = v
+	return v, nil
+}
+
+// Summary is the verdict in one line — the shape a CI failure message or
+// log grep wants.
+func (v *Verdict) Summary() string {
+	status := "PASS"
+	if !v.Pass {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("gate %s: worst cell %s/%s %.3fx normalized",
+		status, v.WorstWorkload, v.WorstMechanism, v.WorstNormRatio)
+	if v.CellFloor > 0 {
+		s += fmt.Sprintf(" (floor %.3fx)", v.CellFloor)
+	}
+	s += fmt.Sprintf(", aggregate %.3fx", v.AggregateSpeedup)
+	if v.AggregateFloor > 0 {
+		s += fmt.Sprintf(" (floor %.3fx)", v.AggregateFloor)
+	}
+	return s
+}
+
+// WriteTable renders the per-cell verdict table — raw speedup, normalized
+// ratio, floor, pass/fail per cell — in the verdict's (deterministic) cell
+// order, followed by the worst-cell and aggregate lines.
+func (v *Verdict) WriteTable(w io.Writer) error {
+	wl := len("workload")
+	ml := len("mechanism")
+	for _, c := range v.Cells {
+		if len(c.Workload) > wl {
+			wl = len(c.Workload)
+		}
+		if len(c.Mechanism) > ml {
+			ml = len(c.Mechanism)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "per-cell gate (normalized by the %s mechanism per workload; raw speedups are machine-dependent):\n",
+		v.ReferenceMechanism); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-*s  %-*s  %9s  %9s  %7s  %s\n",
+		wl, "workload", ml, "mechanism", "raw", "norm", "floor", "verdict"); err != nil {
+		return err
+	}
+	for _, c := range v.Cells {
+		floor := "-"
+		if c.Floor > 0 {
+			floor = fmt.Sprintf("%.3fx", c.Floor)
+		}
+		verdict := "pass"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s  %-*s  %8.3fx  %8.3fx  %7s  %s\n",
+			wl, c.Workload, ml, c.Mechanism, c.RawSpeedup, c.NormRatio, floor, verdict); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s\n", v.Summary())
+	return err
+}
