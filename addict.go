@@ -80,6 +80,7 @@ import (
 	"addict/internal/codemap"
 	"addict/internal/core"
 	"addict/internal/exp"
+	"addict/internal/pool"
 	"addict/internal/power"
 	"addict/internal/sched"
 	"addict/internal/sim"
@@ -146,6 +147,10 @@ type Txn = storage.Txn
 
 // ExperimentParams scopes the evaluation harness.
 type ExperimentParams = exp.Params
+
+// CacheStats is a snapshot of a session artifact cache's counters:
+// resident bytes (weight estimates), entries, hits, misses, evictions.
+type CacheStats = pool.CacheStats
 
 // NewTPCB builds and populates the TPC-B benchmark (scale 1.0 ≈ 160k
 // accounts).
@@ -403,6 +408,17 @@ type SweepMetrics = sweep.Metrics
 // SweepFormats lists the built-in sweep output formats ("table", "csv",
 // "jsonl").
 var SweepFormats = sweep.Formats
+
+// MeasureSweepMetrics reduces a replay result to the sweep metrics — the
+// serving daemon's wire form for Schedule outcomes, so a schedule reply
+// and a sweep row report identical quantities.
+func MeasureSweepMetrics(r Result) SweepMetrics { return sweep.Measure(r) }
+
+// ValidateWorkload reports whether the registry resolves a workload name
+// ("TPC-B", "TPC-C", "TPC-E", or an encoded "synth:" name) without
+// building anything — the cheap pre-flight check for servers that want to
+// reject unknown names before admitting a run.
+func ValidateWorkload(name string) error { return workload.Validate(name) }
 
 // RunSweep expands the spec into experiment units, executes them on up to
 // `workers` goroutines (workers < 1 selects runtime.GOMAXPROCS(0)), and

@@ -1,0 +1,401 @@
+// Package client is the typed HTTP client for the addict-serve daemon
+// (cmd/addict-serve): thin, stateless methods over the serve wire format —
+// JSON request/response for profile and schedule, NDJSON streams for sweep
+// rows and bench progress — with transparent retry of transport failures.
+// The server owns the engine pool and all caching; this package only
+// shapes requests and decodes replies, so it is safe to share one Client
+// across goroutines.
+//
+// Design follows the thin-client/server-owned-engine split: requests are
+// plain values, replies are decoded into exported wire structs, and a busy
+// server (admission limit reached) surfaces as *BusyError carrying the
+// server's Retry-After hint rather than being retried behind the caller's
+// back — load shedding is the caller's policy decision.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"addict"
+)
+
+// BusyError reports a 429 from the admission limiter: the server is at its
+// concurrent-run capacity. RetryAfter is the server's hint (zero when the
+// server sent none).
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("addict-serve busy (retry after %s)", e.RetryAfter)
+}
+
+// StatusError reports any other non-2xx reply, with the server's error
+// text when the body carried one.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("addict-serve: %s (HTTP %d)", e.Message, e.Code)
+	}
+	return fmt.Sprintf("addict-serve: HTTP %d", e.Code)
+}
+
+// Client talks to one addict-serve base URL. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default:
+// http.DefaultClient). Streaming endpoints hold the connection for the
+// length of the run, so a client with a short Timeout will truncate long
+// sweeps — prefer per-call contexts for deadlines.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a request is re-sent after a transport
+// failure (connection refused/reset before a reply arrives; default 2).
+// HTTP-level failures — 429 included — are never retried automatically.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// New builds a client for a base URL ("http://127.0.0.1:8414").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    trimSlash(base),
+		hc:      http.DefaultClient,
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// do sends one request, retrying transport failures with exponential
+// backoff. Bodies are byte slices, so every attempt replays the same
+// bytes. The response is returned undrained; callers own Body.Close.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.backoff << (attempt - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// The caller's context ending is final; transport hiccups retry.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// errFromResponse maps a non-2xx reply to a typed error, draining the body.
+func errFromResponse(resp *http.Response) error {
+	defer resp.Body.Close()
+	var wire struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	_ = json.Unmarshal(data, &wire)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return &BusyError{RetryAfter: time.Duration(after) * time.Second}
+	}
+	return &StatusError{Code: resp.StatusCode, Message: wire.Error}
+}
+
+// getJSON GETs path and decodes the JSON reply into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errFromResponse(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON POSTs a JSON body to path and decodes the JSON reply into out.
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errFromResponse(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks the daemon's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode}
+	}
+	return nil
+}
+
+// Workloads lists every workload name the server resolves: the TPC
+// benchmarks plus the encoded synthetic presets.
+func (c *Client) Workloads(ctx context.Context) ([]string, error) {
+	var wire struct {
+		Workloads []string `json:"workloads"`
+	}
+	if err := c.getJSON(ctx, "/v1/workloads", &wire); err != nil {
+		return nil, err
+	}
+	return wire.Workloads, nil
+}
+
+// ProfileSummary is the serving view of an Algorithm 1 profile: how many
+// transaction types and operations were profiled and how many migration
+// points the profile places. (The full profile stays server-side, in the
+// session cache, where Schedule consumes it.)
+type ProfileSummary struct {
+	Workload        string `json:"workload"`
+	TxnTypes        int    `json:"txn_types"`
+	Ops             int    `json:"ops"`
+	MigrationPoints int    `json:"migration_points"`
+}
+
+// Profile computes (or serves from the session cache) the migration-point
+// profile of a workload name — TPC or encoded "synth:" — and returns its
+// summary.
+func (c *Client) Profile(ctx context.Context, workload string) (*ProfileSummary, error) {
+	in := struct {
+		Workload string `json:"workload"`
+	}{workload}
+	out := &ProfileSummary{}
+	if err := c.postJSON(ctx, "/v1/profile", in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScheduleResult is one (workload, mechanism) replay outcome reduced to
+// the sweep metrics.
+type ScheduleResult struct {
+	Workload  string              `json:"workload"`
+	Mechanism string              `json:"mechanism"`
+	Metrics   addict.SweepMetrics `json:"metrics"`
+}
+
+// Schedule replays a workload's evaluation window under a mechanism
+// ("Baseline", "STREX", "SLICC", "ADDICT") on the server's session.
+func (c *Client) Schedule(ctx context.Context, workload, mechanism string) (*ScheduleResult, error) {
+	in := struct {
+		Workload  string `json:"workload"`
+		Mechanism string `json:"mechanism"`
+	}{workload, mechanism}
+	out := &ScheduleResult{}
+	if err := c.postJSON(ctx, "/v1/schedule", in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepRow is one sweep unit's result as streamed by the server (the
+// sweep engine's JSONL row: identifying axis values plus metrics; axis
+// fields beyond these three are ignored on decode but present on the
+// wire).
+type SweepRow struct {
+	ID        string `json:"id"`
+	Workload  string `json:"workload"`
+	Mechanism string `json:"mechanism"`
+	addict.SweepMetrics
+}
+
+// Sweep executes a declarative grid on the server and streams each unit's
+// row to fn in grid-expansion order, returning the row count. Identical
+// concurrent sweep requests coalesce server-side into one computation. A
+// non-nil error from fn stops the stream and is returned.
+func (c *Client) Sweep(ctx context.Context, spec addict.SweepSpec, fn func(SweepRow) error) (int, error) {
+	body, err := json.Marshal(struct {
+		Spec addict.SweepSpec `json:"spec"`
+	}{spec})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/sweep", body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, errFromResponse(resp)
+	}
+	defer resp.Body.Close()
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var row SweepRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			return n, fmt.Errorf("client: bad sweep row: %w", err)
+		}
+		n++
+		if fn != nil {
+			if err := fn(row); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, sc.Err()
+}
+
+// BenchRequest scopes a server-side benchmark-harness run. Zero fields
+// inherit the server session's defaults; seed, scale, and trace windows
+// are fixed per server (they define what the session caches), so a bench
+// request chooses only what to measure and how long.
+type BenchRequest struct {
+	Workloads     []string `json:"workloads,omitempty"`
+	Mechanisms    []string `json:"mechanisms,omitempty"`
+	MinRuns       int      `json:"min_runs,omitempty"`
+	MinDurationMS int      `json:"min_duration_ms,omitempty"`
+}
+
+// BenchEvent is one NDJSON line of the bench stream: "progress" events
+// carry one harness progress line each, the final "report" event carries
+// the full report, and "error" reports a run that failed after the stream
+// began.
+type BenchEvent struct {
+	Type   string              `json:"type"`
+	Line   string              `json:"line,omitempty"`
+	Report *addict.BenchReport `json:"report,omitempty"`
+	Error  string              `json:"error,omitempty"`
+}
+
+// Bench runs the replay benchmark harness on the server, invoking
+// onProgress (when non-nil) per progress line and returning the final
+// report. Identical concurrent bench requests coalesce into one
+// measurement; coalesced followers receive the report without the
+// leader's intermediate progress lines.
+func (c *Client) Bench(ctx context.Context, req BenchRequest, onProgress func(line string)) (*addict.BenchReport, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/bench", body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errFromResponse(resp)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev BenchEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("client: bad bench event: %w", err)
+		}
+		switch ev.Type {
+		case "progress":
+			if onProgress != nil {
+				onProgress(ev.Line)
+			}
+		case "report":
+			return ev.Report, nil
+		case "error":
+			return nil, &StatusError{Code: http.StatusInternalServerError, Message: ev.Error}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, errors.New("client: bench stream ended without a report")
+}
+
+// CacheCounters mirrors the server's cache statistics (resident weight in
+// approximate bytes, entries, hits/misses/evictions).
+type CacheCounters struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int64  `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// ServerMetrics is the /debug/vars snapshot: per-endpoint request and
+// computation counters, coalescing and admission counters, and the engine
+// and response cache statistics.
+type ServerMetrics struct {
+	Requests      map[string]int64 `json:"requests"`
+	Computations  map[string]int64 `json:"computations"`
+	CoalescedHits int64            `json:"coalesced_hits"`
+	Rejected      int64            `json:"rejected"`
+	ActiveRuns    int64            `json:"active_runs"`
+	RunsCancelled int64            `json:"runs_cancelled"`
+	EngineCache   CacheCounters    `json:"engine_cache"`
+	ResponseCache CacheCounters    `json:"response_cache"`
+}
+
+// Metrics fetches the server's expvar snapshot.
+func (c *Client) Metrics(ctx context.Context) (*ServerMetrics, error) {
+	out := &ServerMetrics{}
+	if err := c.getJSON(ctx, "/debug/vars", out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+//go:build loadsmoke
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"addict"
+	"addict/client"
+)
+
+// TestLoadSmoke drives a burst of mixed profile/sweep traffic — the synth
+// presets as the traffic model — at a one-slot admission limiter, in two
+// phases:
+//
+//  1. With the only slot occupied, every request that needs to compute
+//     must be shed with 429 + Retry-After (no queueing, no hanging).
+//  2. With the slot released, every request must complete when retried
+//     honoring the server's Retry-After hint.
+//
+// The request/latency summary is written to $LOADSMOKE_SUMMARY (or the
+// test temp dir) for the CI artifact.
+func TestLoadSmoke(t *testing.T) {
+	eng := addict.NewEngine(
+		addict.WithSeed(5), addict.WithScale(0.05),
+		addict.WithTraceWindows(40, 40, 0), addict.WithWorkers(2))
+	s := newServer(eng, 1, time.Second, 0)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// The traffic model: one profile request per synth preset plus one
+	// two-mechanism sweep per preset — ten distinct compute-needing
+	// requests.
+	type job struct {
+		kind string
+		run  func(context.Context) error
+	}
+	var jobs []job
+	for _, preset := range addict.SynthPresets() {
+		name := "synth:" + preset
+		jobs = append(jobs, job{"profile", func(ctx context.Context) error {
+			_, err := c.Profile(ctx, name)
+			return err
+		}})
+		spec := addict.SweepSpec{Workloads: []string{name}, Mechanisms: []string{"Baseline", "ADDICT"}}
+		jobs = append(jobs, job{"sweep", func(ctx context.Context) error {
+			_, err := c.Sweep(ctx, spec, nil)
+			return err
+		}})
+	}
+
+	// Phase 1: slot occupied — the whole burst must shed, carrying the
+	// Retry-After hint.
+	if !s.acquire() {
+		t.Fatal("could not occupy the only admission slot")
+	}
+	var wg sync.WaitGroup
+	shed := make([]error, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shed[i] = j.run(ctx)
+		}()
+	}
+	wg.Wait()
+	rejected := 0
+	for i, err := range shed {
+		var be *client.BusyError
+		if !errors.As(err, &be) {
+			t.Errorf("phase 1 job %d (%s): want BusyError at capacity, got %v", i, jobs[i].kind, err)
+			continue
+		}
+		if be.RetryAfter <= 0 {
+			t.Errorf("phase 1 job %d: 429 without a Retry-After hint", i)
+		}
+		rejected++
+	}
+	s.release()
+
+	// Phase 2: retried traffic completes; honoring Retry-After bounds the
+	// retry loop. Latency covers the full retry span (what a polite
+	// client experiences).
+	latencies := make([]time.Duration, len(jobs))
+	retries := make([]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			for {
+				err := j.run(ctx)
+				if err == nil {
+					latencies[i] = time.Since(start)
+					return
+				}
+				var be *client.BusyError
+				if !errors.As(err, &be) {
+					t.Errorf("phase 2 job %d (%s): %v", i, jobs[i].kind, err)
+					return
+				}
+				retries[i]++
+				if retries[i] > 60 {
+					t.Errorf("phase 2 job %d: still shed after %d retries", i, retries[i])
+					return
+				}
+				// A fraction of the hint keeps the smoke fast while still
+				// backing off.
+				time.Sleep(be.RetryAfter / 10)
+			}
+		}()
+	}
+	wg.Wait()
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rejected < int64(rejected) {
+		t.Errorf("rejected counter %d < observed 429s %d", m.Rejected, rejected)
+	}
+	if m.ActiveRuns != 0 {
+		t.Errorf("active_runs = %d after quiescence, want 0", m.ActiveRuns)
+	}
+
+	// Summary artifact.
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	totalRetries := 0
+	for _, r := range retries {
+		totalRetries += r
+	}
+	summary := map[string]any{
+		"jobs":           len(jobs),
+		"phase1_shed":    rejected,
+		"phase2_retries": totalRetries,
+		"rejected_total": m.Rejected,
+		"computations":   m.Computations,
+		"coalesced_hits": m.CoalescedHits,
+		"latency_ms": map[string]float64{
+			"p50": float64(sorted[len(sorted)/2]) / float64(time.Millisecond),
+			"p90": float64(sorted[len(sorted)*9/10]) / float64(time.Millisecond),
+			"max": float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+		},
+	}
+	path := os.Getenv("LOADSMOKE_SUMMARY")
+	if path == "" {
+		path = filepath.Join(t.TempDir(), "loadsmoke-summary.json")
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("loadsmoke summary (%s):\n%s\n", path, data)
+}

@@ -42,6 +42,7 @@ type Engine struct {
 	workers         int
 	machine         MachineConfig
 	progress        io.Writer
+	cacheBudget     int64
 
 	wb *sweep.Workbench
 }
@@ -80,6 +81,15 @@ func WithTraceWindows(profile, eval, stability int) EngineOption {
 // bench harness) to w (default: discarded).
 func WithProgress(w io.Writer) EngineOption { return func(e *Engine) { e.progress = w } }
 
+// WithCacheBudget bounds the session artifact cache's resident weight in
+// approximate bytes (default 0 = unbounded). Trace windows, migration-point
+// profiles, and replay results share one weight-accounted LRU; once the
+// budget is exceeded, least-recently-used artifacts are evicted and
+// regenerate — deterministically, to identical content — on next use. Set
+// this on long-lived multi-tenant sessions (cmd/addict-serve) so one
+// session cannot grow without bound.
+func WithCacheBudget(bytes int64) EngineOption { return func(e *Engine) { e.cacheBudget = bytes } }
+
 // NewEngine constructs a session. The zero-argument form selects the quick
 // evaluation sizes; see the Engine documentation.
 func NewEngine(opts ...EngineOption) *Engine {
@@ -99,8 +109,16 @@ func NewEngine(opts ...EngineOption) *Engine {
 	}
 	arts := sweep.NewArtifacts(e.seed, e.scale, e.profileTraces, e.evalTraces, e.workers)
 	e.wb = sweep.NewWorkbench(arts, e.machine)
+	if e.cacheBudget > 0 {
+		e.wb.Bound(e.cacheBudget)
+	}
 	return e
 }
+
+// CacheStats reports the session artifact cache's counters: resident bytes
+// (weight estimates), entries, hits, misses, and evictions. The serving
+// daemon exposes these via expvar.
+func (e *Engine) CacheStats() CacheStats { return e.wb.CacheStats() }
 
 // Seed returns the session seed.
 func (e *Engine) Seed() int64 { return e.seed }
@@ -259,6 +277,14 @@ func (e *Engine) inheritBase(seed *int64, scale *float64, profileTraces, evalTra
 // machine, workers — inherit the session's. Progress lines go to the
 // session's WithProgress writer.
 func (e *Engine) Bench(ctx context.Context, cfg BenchConfig) (*BenchReport, error) {
+	return e.BenchProgress(ctx, cfg, e.progress)
+}
+
+// BenchProgress is Bench with a per-call progress writer (nil discards):
+// the hook for servers that stream one session's bench progress to the
+// requesting client — the session-wide WithProgress writer cannot
+// distinguish callers.
+func (e *Engine) BenchProgress(ctx context.Context, cfg BenchConfig, progress io.Writer) (*BenchReport, error) {
 	resolved := cfg
 	e.inheritBase(&resolved.Seed, &resolved.Scale, &resolved.ProfileTraces, &resolved.EvalTraces)
 	if cfg.SeedSet {
@@ -278,7 +304,7 @@ func (e *Engine) Bench(ctx context.Context, cfg BenchConfig) (*BenchReport, erro
 	if e.wb.Artifacts().Matches(resolved.Seed, resolved.Scale, resolved.ProfileTraces, resolved.EvalTraces) {
 		arts = e.wb.Artifacts()
 	}
-	return bench.RunWith(ctx, resolved, e.progress, arts)
+	return bench.RunWith(ctx, resolved, progress, arts)
 }
 
 // GateBench runs the benchmark harness on the session (see Bench) and

@@ -36,6 +36,48 @@ var errFlightPanic = errors.New("pool: flight computation panicked")
 type Flight[V any] struct {
 	mu sync.Mutex
 	m  map[string]*flightCell[V]
+
+	leads uint64 // computations started
+	hits  uint64 // calls served by a memoized value or another caller's flight
+}
+
+// FlightStats is a snapshot of a Flight's counters: Leads counts
+// computations started (one per distinct successful key, plus retries of
+// failed ones), Hits counts calls that were served without computing —
+// either from the memoized map or by waiting on an in-flight leader. The
+// serving daemon (cmd/addict-serve) exposes these so request coalescing is
+// observable.
+type FlightStats struct {
+	Leads uint64 `json:"leads"`
+	Hits  uint64 `json:"hits"`
+}
+
+// Stats returns a snapshot of the flight counters.
+func (f *Flight[V]) Stats() FlightStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FlightStats{Leads: f.leads, Hits: f.hits}
+}
+
+// Forget drops key's memoized value so the next Do computes afresh. An
+// in-flight computation is left alone (waiters keep their single-flight
+// coalescing); only a completed success is dropped. Callers that want
+// coalescing without memoization — the serving daemon's bench endpoint,
+// where a measurement must be fresh per burst but identical concurrent
+// requests should still compute once — call Forget after Do returns.
+func (f *Flight[V]) Forget(key string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.m[key]
+	if !ok {
+		return
+	}
+	select {
+	case <-c.done:
+		delete(f.m, key)
+	default:
+		// Still computing: leave it for the waiters.
+	}
 }
 
 // Do returns the memoized value for key, computing it with fn on first
@@ -57,6 +99,7 @@ func (f *Flight[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V
 		if !ok {
 			c = &flightCell[V]{done: make(chan struct{})}
 			f.m[key] = c
+			f.leads++
 			f.mu.Unlock()
 			f.lead(key, c, fn)
 			return c.val, c.err
@@ -70,6 +113,9 @@ func (f *Flight[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V
 			return zero, ctx.Err()
 		}
 		if c.err == nil {
+			f.mu.Lock()
+			f.hits++
+			f.mu.Unlock()
 			return c.val, nil
 		}
 		// The leader failed and its cell was evicted. If this caller's own

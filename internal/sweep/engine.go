@@ -98,9 +98,14 @@ type Artifacts struct {
 	workers int
 	layout  *codemap.Layout
 
-	profSets pool.Flight[*trace.Set]
-	evalSets pool.Flight[*trace.Set]
-	profiles pool.Flight[*core.Profile]
+	// cache holds every artifact kind — trace windows, profiles, and the
+	// Workbench's replay results — in one weight-accounted LRU, so a
+	// residency budget covers the whole session instead of per-kind pools.
+	// Keys are kind-prefixed ("profset", "evalset", "profile", "result");
+	// values are weighed by artifactWeight. Unbounded by default (every
+	// artifact stays resident, the pre-eviction behavior); Bound turns on
+	// eviction for serving deployments.
+	cache *pool.LRU[any]
 }
 
 // NewArtifacts prepares an empty artifact cache whose trace generation may
@@ -116,6 +121,48 @@ func NewArtifacts(seed int64, scale float64, profileTraces, evalTraces, workers 
 		evalTraces:    evalTraces,
 		workers:       workers,
 		layout:        codemap.NewLayout(),
+		cache:         pool.NewLRU[any](0, artifactWeight),
+	}
+}
+
+// Bound sets the cache's resident-weight budget in approximate bytes
+// (<= 0 = unbounded) and immediately evicts down to it. Eviction is safe
+// at any time: artifacts regenerate deterministically, so an evicted
+// window or profile recomputes to identical content — only pointer
+// identity across calls is lost once a budget is set.
+func (a *Artifacts) Bound(budget int64) { a.cache.SetBudget(budget) }
+
+// CacheStats reports the artifact cache's counters (resident bytes and
+// entries, hits/misses/evictions). Bytes are the artifactWeight estimates,
+// not exact heap usage.
+func (a *Artifacts) CacheStats() pool.CacheStats { return a.cache.Stats() }
+
+// artifactWeight estimates an artifact's resident footprint in bytes for
+// the cache's weight accounting. Trace sets dominate (16 bytes per packed
+// event plus per-trace overhead); profiles and replay results are small
+// but still accounted so a tiny budget behaves sanely.
+func artifactWeight(v any) int64 {
+	const entryOverhead = 256 // cell, map entry, list links, key
+	switch x := v.(type) {
+	case *trace.Set:
+		w := int64(entryOverhead)
+		for _, t := range x.Traces {
+			w += 96 + 16*int64(len(t.Events))
+		}
+		return w
+	case *core.Profile:
+		w := int64(entryOverhead)
+		for _, tp := range x.Txns {
+			w += 128
+			for _, op := range tp.Ops {
+				w += 64 + 8*int64(len(op.Seq))
+			}
+		}
+		return w
+	case sim.Result:
+		return entryOverhead + 512 + 8*int64(len(x.CoreActive))
+	default:
+		return 1024
 	}
 }
 
@@ -136,7 +183,7 @@ func (a *Artifacts) Matches(seed int64, scale float64, profileTraces, evalTraces
 // space, worker-count independent. The workload name resolves through the
 // workload-name registry (TPC benchmarks, "synth:" encoded names).
 func (a *Artifacts) ProfileSet(ctx context.Context, name string) (*trace.Set, error) {
-	return a.profSets.Do(ctx, name, func() (*trace.Set, error) {
+	v, err := a.cache.Do(ctx, "profset\x00"+name, func() (any, error) {
 		r, err := workload.Resolve(name)
 		if err != nil {
 			return nil, err
@@ -144,13 +191,17 @@ func (a *Artifacts) ProfileSet(ctx context.Context, name string) (*trace.Set, er
 		return r.GenerateSharded(ctx, a.seed, a.scale,
 			0, a.profileTraces, workload.DefaultShardSize, a.workers)
 	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Set), nil
 }
 
 // EvalSet returns the workload's evaluation window (the paper's "next
 // 1000"): the shards immediately after the profiling window, so the two
 // sets are disjoint by construction regardless of computation order.
 func (a *Artifacts) EvalSet(ctx context.Context, name string) (*trace.Set, error) {
-	return a.evalSets.Do(ctx, name, func() (*trace.Set, error) {
+	v, err := a.cache.Do(ctx, "evalset\x00"+name, func() (any, error) {
 		r, err := workload.Resolve(name)
 		if err != nil {
 			return nil, err
@@ -159,14 +210,18 @@ func (a *Artifacts) EvalSet(ctx context.Context, name string) (*trace.Set, error
 		return r.GenerateSharded(ctx, a.seed, a.scale,
 			base, a.evalTraces, workload.DefaultShardSize, a.workers)
 	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Set), nil
 }
 
 // Profile returns Algorithm 1's output for a workload against the given
 // machine's L1-I geometry, with the storage manager's no-migrate zones
 // applied (Section 3.1.3).
 func (a *Artifacts) Profile(ctx context.Context, name string, m sim.Config) (*core.Profile, error) {
-	key := fmt.Sprintf("%s\x00%d\x00%d", name, m.L1I.SizeBytes, m.L1I.Ways)
-	return a.profiles.Do(ctx, key, func() (*core.Profile, error) {
+	key := fmt.Sprintf("profile\x00%s\x00%d\x00%d", name, m.L1I.SizeBytes, m.L1I.Ways)
+	v, err := a.cache.Do(ctx, key, func() (any, error) {
 		set, err := a.ProfileSet(ctx, name)
 		if err != nil {
 			return nil, err
@@ -174,6 +229,10 @@ func (a *Artifacts) Profile(ctx context.Context, name string, m sim.Config) (*co
 		cfg := core.ProfileConfig{L1I: m.L1I, NoMigrate: a.layout.NoMigrate}
 		return core.FindMigrationPoints(set, cfg), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Profile), nil
 }
 
 // runUnit executes one unit over the artifact cache. Only ADDICT consults

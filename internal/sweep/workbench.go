@@ -2,7 +2,9 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 
+	"addict/internal/cache"
 	"addict/internal/core"
 	"addict/internal/pool"
 	"addict/internal/sched"
@@ -25,13 +27,34 @@ import (
 type Workbench struct {
 	machine sim.Config
 	arts    *Artifacts
-	results pool.Flight[sim.Result]
+	// machineSig discriminates this workbench's replay results inside the
+	// shared artifact cache: several workbenches on different machines may
+	// share one Artifacts, and their (workload, mechanism) results must not
+	// collide.
+	machineSig string
 }
 
 // NewWorkbench wraps an artifact cache with per-mechanism result caching on
 // the given machine.
 func NewWorkbench(arts *Artifacts, machine sim.Config) *Workbench {
-	return &Workbench{machine: machine, arts: arts}
+	return &Workbench{
+		machine:    machine,
+		arts:       arts,
+		machineSig: machineSig(machine),
+	}
+}
+
+// machineSig renders a machine configuration as a stable cache-key
+// component: identical configurations produce identical signatures. The
+// PrivateL2 pointer is flattened to its value so the signature never
+// embeds a heap address.
+func machineSig(m sim.Config) string {
+	var l2 cache.Config
+	if m.PrivateL2 != nil {
+		l2 = *m.PrivateL2
+	}
+	m.PrivateL2 = nil
+	return fmt.Sprintf("%+v|%+v", m, l2)
 }
 
 // Artifacts exposes the underlying shared artifact cache.
@@ -39,6 +62,19 @@ func (w *Workbench) Artifacts() *Artifacts { return w.arts }
 
 // Machine returns the simulated hardware results are cached for.
 func (w *Workbench) Machine() sim.Config { return w.machine }
+
+// Bound sets the session cache's resident-weight budget in approximate
+// bytes (<= 0 = unbounded): trace windows, migration-point profiles, and
+// replay results share one LRU, so the budget covers everything the
+// session holds. When the resident weight exceeds it, least-recently-used
+// artifacts are evicted and will regenerate — deterministically, to
+// identical content — on next use. A live (in-flight) computation is never
+// evicted and never computed twice.
+func (w *Workbench) Bound(budget int64) { w.arts.Bound(budget) }
+
+// CacheStats reports the session cache's counters: resident bytes
+// (artifactWeight estimates), entries, hits, misses, evictions.
+func (w *Workbench) CacheStats() pool.CacheStats { return w.arts.CacheStats() }
 
 // ProfileSet returns the workload's profiling trace window.
 func (w *Workbench) ProfileSet(ctx context.Context, name string) (*trace.Set, error) {
@@ -63,7 +99,8 @@ func (w *Workbench) Profile(ctx context.Context, name string) (*core.Profile, er
 // (Replay): a session's (workload, mechanism) point is the default-load
 // sweep unit on the session machine.
 func (w *Workbench) Result(ctx context.Context, name string, mech sched.Mechanism) (sim.Result, error) {
-	return w.results.Do(ctx, name+"\x00"+string(mech), func() (sim.Result, error) {
+	key := "result\x00" + w.machineSig + "\x00" + name + "\x00" + string(mech)
+	v, err := w.arts.cache.Do(ctx, key, func() (any, error) {
 		var prof *core.Profile
 		if mech == sched.ADDICT {
 			p, err := w.Profile(ctx, name)
@@ -79,4 +116,8 @@ func (w *Workbench) Result(ctx context.Context, name string, mech sched.Mechanis
 		u := NewUnit(name, mech, w.machine, 0, 0)
 		return Replay(u, set, prof)
 	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return v.(sim.Result), nil
 }

@@ -1,0 +1,64 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseNameErrorText pins the error text of every malformed-encoding
+// class: a near-miss preset must name the nearest preset (typos are the
+// common failure on the serving path, where the text travels to a remote
+// client as the whole diagnosis), and each override failure must say which
+// override and why.
+func TestParseNameErrorText(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // substring of the error
+	}{
+		// Typos within edit distance: suggest the intended preset.
+		{"synth:zipf-hot-rm", `did you mean "zipf-hot-rw"`},
+		{"synth:unifrom-ro", `did you mean "uniform-ro"`},
+		{"synth:hotset-wrte", `did you mean "hotset-write"`},
+		{"synth:long-tx", `did you mean "long-txn"`},
+		{"synth:phase-shitf", `did you mean "phase-shift"`},
+		// Nothing plausibly close: list the presets, no guess.
+		{"synth:totally-different", "have hotset-write, long-txn, phase-shift, uniform-ro, zipf-hot-rw"},
+		{"synth:", "unknown preset"},
+		// Override failures name the override and the reason.
+		{"synth:uniform-ro+z", "empty override"},
+		{"synth:uniform-ro+w0.2+w0.5", "duplicate w override"},
+		{"synth:uniform-ro+z0.5+z0.9", "duplicate z override"},
+		{"synth:uniform-ro+zabc", "bad theta"},
+		{"synth:uniform-ro+wxyz", "bad write fraction"},
+		{"synth:uniform-ro+hx", "bad hot-set size"},
+		{"synth:uniform-ro+q3", "unknown override"},
+		{"synth:uniform-ro+z0.9+h8", "z and h overrides are mutually exclusive"},
+	}
+	for _, tc := range cases {
+		_, err := ParseName(tc.name)
+		if err == nil {
+			t.Errorf("ParseName(%q) accepted, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseName(%q) = %q, want it to contain %q", tc.name, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestNearestPresetCutoff: the suggester never reaches across more than a
+// third of the name — wildly wrong names get the listing, not a guess.
+func TestNearestPresetCutoff(t *testing.T) {
+	if got := nearestPreset("zipf-hot-rw"); got != "zipf-hot-rw" {
+		t.Errorf("exact name: got %q", got)
+	}
+	if got := nearestPreset("zipf-hot-rm"); got != "zipf-hot-rw" {
+		t.Errorf("one-edit typo: got %q", got)
+	}
+	if got := nearestPreset("abcdefgh"); got != "" {
+		t.Errorf("unrelated name suggested %q, want no suggestion", got)
+	}
+	if got := nearestPreset(""); got != "" {
+		t.Errorf("empty name suggested %q, want no suggestion", got)
+	}
+}
