@@ -86,6 +86,7 @@ import (
 	"addict/internal/sim"
 	"addict/internal/stats"
 	"addict/internal/storage"
+	"addict/internal/store"
 	"addict/internal/sweep"
 	"addict/internal/trace"
 	"addict/internal/workload"
@@ -149,8 +150,21 @@ type Txn = storage.Txn
 type ExperimentParams = exp.Params
 
 // CacheStats is a snapshot of a session artifact cache's counters:
-// resident bytes (weight estimates), entries, hits, misses, evictions.
-type CacheStats = pool.CacheStats
+// resident bytes (weight estimates), entries, hits, misses, evictions for
+// the in-memory layer, plus — when the session has an on-disk artifact
+// store attached (WithStore) — the store's hit/miss/write/verify-failure
+// and GC counters. The embedded in-memory counters keep the historical
+// wire shape; Store marshals as a nested "store" object and is omitted on
+// memory-only sessions.
+type CacheStats struct {
+	pool.CacheStats
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is a snapshot of an on-disk artifact store's counters: hits,
+// misses, writes, verify failures (corrupt entries quarantined and
+// recomputed), GC evictions, write errors, and the resident entry set.
+type StoreStats = store.Stats
 
 // NewTPCB builds and populates the TPC-B benchmark (scale 1.0 ≈ 160k
 // accounts).
@@ -331,12 +345,13 @@ func QuickExperimentParams() ExperimentParams { return exp.QuickParams() }
 // ExperimentParams (the cmds, the deprecated experiment wrappers). Every
 // field is taken verbatim — including a zero StabilityTraces, which
 // WithTraceWindows would otherwise default — so the session reproduces
-// the parameter struct's v1 behavior exactly.
-func NewEngineFromParams(p ExperimentParams, workers int) *Engine {
-	e := NewEngine(
+// the parameter struct's v1 behavior exactly. Extra options (WithStore,
+// WithProgress, ...) apply after the parameter translation.
+func NewEngineFromParams(p ExperimentParams, workers int, opts ...EngineOption) *Engine {
+	e := NewEngine(append([]EngineOption{
 		WithSeed(p.Seed), WithScale(p.Scale),
 		WithTraceWindows(p.ProfileTraces, p.EvalTraces, p.StabilityTraces),
-		WithMachine(p.Machine), WithWorkers(workers))
+		WithMachine(p.Machine), WithWorkers(workers)}, opts...)...)
 	e.stabilityTraces = p.StabilityTraces
 	return e
 }

@@ -23,14 +23,17 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"addict"
 )
 
 // BusyError reports a 429 from the admission limiter: the server is at its
-// concurrent-run capacity. RetryAfter is the server's hint (zero when the
-// server sent none).
+// concurrent-run capacity. RetryAfter is the server's hint, floored at one
+// second — even when the header is missing or unparseable — so a caller
+// that sleeps for RetryAfter before retrying can never spin in a hot loop
+// against a server that just declared itself overloaded.
 type BusyError struct {
 	RetryAfter time.Duration
 }
@@ -139,10 +142,33 @@ func errFromResponse(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	_ = json.Unmarshal(data, &wire)
 	if resp.StatusCode == http.StatusTooManyRequests {
-		after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-		return &BusyError{RetryAfter: time.Duration(after) * time.Second}
+		return &BusyError{RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())}
 	}
 	return &StatusError{Code: resp.StatusCode, Message: wire.Error}
+}
+
+// parseRetryAfter interprets a 429's Retry-After header as a backoff
+// duration. Both RFC 9110 forms are accepted — delta-seconds and HTTP-date
+// — and every other outcome (missing header, garbage, negative seconds, a
+// date already past) is floored at one second: a zero backoff turns any
+// sleep-and-retry loop around BusyError into a hot loop hammering a server
+// that just said it is overloaded.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	const floor = time.Second
+	h = strings.TrimSpace(h)
+	if secs, err := strconv.Atoi(h); err == nil {
+		if d := time.Duration(secs) * time.Second; d > floor {
+			return d
+		}
+		return floor
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > floor {
+			return d
+		}
+		return floor
+	}
+	return floor
 }
 
 // getJSON GETs path and decodes the JSON reply into out.
@@ -368,13 +394,31 @@ func (c *Client) Bench(ctx context.Context, req BenchRequest, onProgress func(li
 }
 
 // CacheCounters mirrors the server's cache statistics (resident weight in
-// approximate bytes, entries, hits/misses/evictions).
+// approximate bytes, entries, hits/misses/evictions). Store is the
+// on-disk artifact store layered under the engine cache; nil when the
+// server runs memory-only.
 type CacheCounters struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int64  `json:"entries"`
 	Bytes     int64  `json:"bytes"`
+
+	Store *StoreCounters `json:"store,omitempty"`
+}
+
+// StoreCounters mirrors the server's on-disk artifact store statistics
+// (addict.StoreStats on the wire): read outcomes, persisted entries,
+// quarantined corruption, GC pressure, and the resident set.
+type StoreCounters struct {
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Writes         uint64 `json:"writes"`
+	VerifyFailures uint64 `json:"verify_failures"`
+	GCEvictions    uint64 `json:"gc_evictions"`
+	WriteErrors    uint64 `json:"write_errors"`
+	Entries        int64  `json:"entries"`
+	Bytes          int64  `json:"bytes"`
 }
 
 // ServerMetrics is the /debug/vars snapshot: per-endpoint request and
@@ -389,6 +433,7 @@ type ServerMetrics struct {
 	RunsCancelled int64            `json:"runs_cancelled"`
 	EngineCache   CacheCounters    `json:"engine_cache"`
 	ResponseCache CacheCounters    `json:"response_cache"`
+	ArtifactStore *StoreCounters   `json:"artifact_store,omitempty"`
 }
 
 // Metrics fetches the server's expvar snapshot.

@@ -65,6 +65,8 @@ func main() {
 		maxRegress     = flag.Float64("max-regress", 0, "fail when aggregate events/sec drops more than this fraction below the baseline (machine-dependent secondary check; requires -json and -baseline; 0 disables)")
 		maxCellRegress = flag.Float64("max-cell-regress", 0, "fail when any (workload x mechanism) cell's Baseline-normalized ratio drops more than this fraction below the baseline's (machine-independent; fails on the worst cell; requires -json and -baseline; 0 disables) — the CI bench-regression gate")
 		verdictOut     = flag.String("verdict", "", "also write the per-cell gate verdict table to this file (with a gate flag)")
+		storeDir       = flag.String("store", "", "on-disk artifact store directory (empty = memory-only); repeated runs warm-start generation and profiling from it (measured replay cells are never persisted results)")
+		storeBudget    = flag.Int64("store-budget", 0, "on-disk store size budget in bytes (<=0 = unbounded)")
 	)
 	flag.Parse()
 	// The flag default 0 doubles as "not provided" for -seed and -scale,
@@ -100,6 +102,8 @@ func main() {
 			scaleSet:       scaleSet,
 			seed:           *seed,
 			seedSet:        seedSet,
+			storeDir:       *storeDir,
+			storeBudget:    *storeBudget,
 		}
 		if err := runBenchHarness(ctx, h); err != nil {
 			if ctx.Err() != nil {
@@ -142,7 +146,15 @@ func main() {
 		p.Seed = *seed
 	}
 
-	eng := addict.NewEngineFromParams(p, *parallel)
+	var engOpts []addict.EngineOption
+	if *storeDir != "" {
+		engOpts = append(engOpts, addict.WithStore(*storeDir, *storeBudget))
+	}
+	eng := addict.NewEngineFromParams(p, *parallel, engOpts...)
+	if err := eng.StoreErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "addict-bench:", err)
+		os.Exit(1)
+	}
 
 	out := bufio.NewWriter(os.Stdout)
 	start := time.Now()
@@ -178,6 +190,8 @@ type harnessFlags struct {
 	scaleSet       bool
 	seed           int64
 	seedSet        bool
+	storeDir       string
+	storeBudget    int64
 }
 
 // runBenchHarness runs the internal/bench replay harness and writes the
@@ -232,10 +246,17 @@ func runBenchHarness(ctx context.Context, h harnessFlags) error {
 	}
 
 	start := time.Now()
-	eng := addict.NewEngine(
+	engOpts := []addict.EngineOption{
 		addict.WithSeed(cfg.Seed), addict.WithScale(cfg.Scale),
 		addict.WithTraceWindows(cfg.ProfileTraces, cfg.EvalTraces, 0),
-		addict.WithProgress(os.Stderr))
+		addict.WithProgress(os.Stderr)}
+	if h.storeDir != "" {
+		engOpts = append(engOpts, addict.WithStore(h.storeDir, h.storeBudget))
+	}
+	eng := addict.NewEngine(engOpts...)
+	if err := eng.StoreErr(); err != nil {
+		return err
+	}
 
 	var (
 		file    *addict.BenchFile

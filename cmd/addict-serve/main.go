@@ -25,15 +25,27 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint sent with 429 replies")
 	cacheBudget := flag.Int64("cache-budget", 0, "session artifact cache budget in approximate bytes (<=0 = unbounded)")
 	respCache := flag.Int64("response-cache", 64<<20, "response cache budget in bytes (<=0 = unbounded)")
+	storeDir := flag.String("store", "", "on-disk artifact store directory (empty = memory-only); restarts warm-start from it")
+	storeBudget := flag.Int64("store-budget", 0, "on-disk store size budget in bytes (<=0 = unbounded)")
 	flag.Parse()
 
-	eng := addict.NewEngine(
+	opts := []addict.EngineOption{
 		addict.WithSeed(*seed),
 		addict.WithScale(*scale),
 		addict.WithTraceWindows(*traces, *traces, 0),
 		addict.WithWorkers(*workers),
 		addict.WithCacheBudget(*cacheBudget),
-	)
+	}
+	if *storeDir != "" {
+		opts = append(opts, addict.WithStore(*storeDir, *storeBudget))
+	}
+	eng := addict.NewEngine(opts...)
+	if err := eng.StoreErr(); err != nil {
+		// A requested store that cannot open is a deployment error, not a
+		// silent downgrade to memory-only.
+		fmt.Fprintln(os.Stderr, "addict-serve:", err)
+		os.Exit(1)
+	}
 	s := newServer(eng, *maxRuns, *retryAfter, *respCache)
 	// One process-global publication; per-server maps stay unpublished so
 	// the test suite can build servers freely.

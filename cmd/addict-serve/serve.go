@@ -96,6 +96,7 @@ func newServer(eng *addict.Engine, maxRuns int, retryAfter time.Duration, respBu
 	s.vars.Set("runs_cancelled", s.runsCancelled)
 	s.vars.Set("engine_cache", expvar.Func(func() any { return eng.CacheStats() }))
 	s.vars.Set("response_cache", expvar.Func(func() any { return s.resp.Stats() }))
+	s.vars.Set("artifact_store", expvar.Func(func() any { return eng.CacheStats().Store }))
 	return s
 }
 

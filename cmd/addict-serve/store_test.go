@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"addict"
+	"addict/client"
+)
+
+// newStoredServer is newTestServer over a session with an on-disk artifact
+// store attached.
+func newStoredServer(t *testing.T, dir string) (*server, *client.Client) {
+	t.Helper()
+	eng := addict.NewEngine(
+		addict.WithSeed(5), addict.WithScale(0.05),
+		addict.WithTraceWindows(40, 40, 0), addict.WithWorkers(2),
+		addict.WithStore(dir, 0))
+	if err := eng.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(eng, 0, time.Second, 0)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, client.New(ts.URL)
+}
+
+// TestServeStoreWarmRestart proves the serving warm start: a second server
+// process (fresh engine, same store directory) answers from disk — nonzero
+// store hits, byte-identical metrics — instead of regenerating artifacts.
+func TestServeStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	const wl = "synth:uniform-ro"
+
+	_, c1 := newStoredServer(t, dir)
+	cold, err := c1.Schedule(ctx, wl, "ADDICT")
+	if err != nil {
+		t.Fatalf("cold Schedule: %v", err)
+	}
+	m1, err := c1.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m1.ArtifactStore == nil {
+		t.Fatal("/debug/vars has no artifact_store with a store attached")
+	}
+	if m1.ArtifactStore.Writes == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", m1.ArtifactStore)
+	}
+	if m1.EngineCache.Store == nil {
+		t.Error("engine_cache carries no store counters with a store attached")
+	}
+
+	_, c2 := newStoredServer(t, dir)
+	warm, err := c2.Schedule(ctx, wl, "ADDICT")
+	if err != nil {
+		t.Fatalf("warm Schedule: %v", err)
+	}
+	if warm.Metrics != cold.Metrics {
+		t.Errorf("warm metrics %+v differ from cold %+v", warm.Metrics, cold.Metrics)
+	}
+	m2, err := c2.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m2.ArtifactStore == nil || m2.ArtifactStore.Hits == 0 {
+		t.Errorf("warm restart read nothing from the store: %+v", m2.ArtifactStore)
+	}
+}
+
+// TestServeNoStoreOmitsCounters: a memory-only server reports no store
+// counters rather than zeros that look like a real, idle store.
+func TestServeNoStoreOmitsCounters(t *testing.T) {
+	_, c := newTestServer(t, 0)
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ArtifactStore != nil {
+		t.Errorf("memory-only server advertises store counters: %+v", m.ArtifactStore)
+	}
+	if m.EngineCache.Store != nil {
+		t.Errorf("memory-only engine_cache advertises store counters: %+v", m.EngineCache.Store)
+	}
+}

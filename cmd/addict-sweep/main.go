@@ -66,6 +66,9 @@ func main() {
 		traces   = flag.Int("traces", 0, "override profiling/evaluation trace counts")
 		deep     = flag.Bool("deep", false, "use the Section 4.6 deep hierarchy as the base machine")
 		axes     = flag.Bool("axes", false, "list grid axis names and exit")
+
+		storeDir    = flag.String("store", "", "on-disk artifact store directory (empty = memory-only); repeated sweeps warm-start from it")
+		storeBudget = flag.Int64("store-budget", 0, "on-disk store size budget in bytes (<=0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -119,7 +122,16 @@ func main() {
 	ctx, stop := sigctx.Context(time.Second)
 	defer stop()
 
-	eng := addict.NewEngine(addict.WithWorkers(*parallel))
+	opts := []addict.EngineOption{addict.WithWorkers(*parallel)}
+	if *storeDir != "" {
+		opts = append(opts, addict.WithStore(*storeDir, *storeBudget))
+	}
+	eng := addict.NewEngine(opts...)
+	if err := eng.StoreErr(); err != nil {
+		// A requested store that cannot open is a setup error, not a silent
+		// downgrade to a cold run.
+		fatal(err)
+	}
 	out := bufio.NewWriter(os.Stdout)
 	err := eng.Sweep(ctx, out, spec, *format)
 	// A failed flush (full disk, closed pipe) must not exit 0 with a

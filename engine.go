@@ -9,6 +9,7 @@ import (
 	"addict/internal/exp"
 	"addict/internal/pool"
 	"addict/internal/sim"
+	"addict/internal/store"
 	"addict/internal/sweep"
 	"addict/internal/workload"
 	"addict/internal/workload/synth"
@@ -43,8 +44,11 @@ type Engine struct {
 	machine         MachineConfig
 	progress        io.Writer
 	cacheBudget     int64
+	storeDir        string
+	storeBudget     int64
 
-	wb *sweep.Workbench
+	wb       *sweep.Workbench
+	storeErr error
 }
 
 // EngineOption configures an Engine at construction.
@@ -90,6 +94,25 @@ func WithProgress(w io.Writer) EngineOption { return func(e *Engine) { e.progres
 // session cannot grow without bound.
 func WithCacheBudget(bytes int64) EngineOption { return func(e *Engine) { e.cacheBudget = bytes } }
 
+// WithStore attaches a content-addressed, on-disk artifact store at dir
+// (created if missing) as the read-through L2 under the session's
+// in-memory cache, with a size budget in bytes (<= 0 = unbounded; a GC
+// prunes least-recently-used entries past it). Trace windows, Algorithm 1
+// profiles, and replay results spill to the store keyed by a stable hash
+// of their fully-resolved spec — so server restarts, repeated CI runs, and
+// independent processes sharing the directory warm-start instead of
+// regenerating the world. Corrupt entries are quarantined and recomputed,
+// never decoded into a wrong answer; artifacts regenerate
+// deterministically, so the store can be wiped at any time at the cost of
+// a cold start. If the directory cannot be opened the session degrades to
+// memory-only and StoreErr reports why.
+func WithStore(dir string, budget int64) EngineOption {
+	return func(e *Engine) {
+		e.storeDir = dir
+		e.storeBudget = budget
+	}
+}
+
 // NewEngine constructs a session. The zero-argument form selects the quick
 // evaluation sizes; see the Engine documentation.
 func NewEngine(opts ...EngineOption) *Engine {
@@ -112,13 +135,34 @@ func NewEngine(opts ...EngineOption) *Engine {
 	if e.cacheBudget > 0 {
 		e.wb.Bound(e.cacheBudget)
 	}
+	if e.storeDir != "" {
+		st, err := store.Open(e.storeDir, e.storeBudget)
+		if err != nil {
+			e.storeErr = err
+		} else {
+			arts.SetStore(st)
+		}
+	}
 	return e
 }
 
 // CacheStats reports the session artifact cache's counters: resident bytes
-// (weight estimates), entries, hits, misses, and evictions. The serving
-// daemon exposes these via expvar.
-func (e *Engine) CacheStats() CacheStats { return e.wb.CacheStats() }
+// (weight estimates), entries, hits, misses, and evictions, plus — when an
+// on-disk store is attached — the store's hit/miss/verify-failure/GC
+// counters. The serving daemon exposes these via expvar.
+func (e *Engine) CacheStats() CacheStats {
+	cs := CacheStats{CacheStats: e.wb.CacheStats()}
+	if st, ok := e.wb.StoreStats(); ok {
+		cs.Store = &st
+	}
+	return cs
+}
+
+// StoreErr reports why WithStore's directory could not be opened (nil when
+// no store was requested or the store is attached and serving). A session
+// with a store error is fully functional, just memory-only; commands that
+// treat a requested store as mandatory should fail fast on this.
+func (e *Engine) StoreErr() error { return e.storeErr }
 
 // Seed returns the session seed.
 func (e *Engine) Seed() int64 { return e.seed }
@@ -246,11 +290,27 @@ func (e *Engine) Sweep(ctx context.Context, out io.Writer, spec SweepSpec, forma
 		return err
 	}
 	e.inheritBase(&spec.Seed, &spec.Scale, &spec.ProfileTraces, &spec.EvalTraces)
-	var arts *sweep.Artifacts
-	if e.wb.Artifacts().Matches(spec.Seed, spec.Scale, spec.ProfileTraces, spec.EvalTraces) {
-		arts = e.wb.Artifacts()
-	}
+	arts := e.artifactsFor(spec.Seed, spec.Scale, spec.ProfileTraces, spec.EvalTraces)
 	return sweep.RunWith(ctx, spec, em, e.workers, arts)
+}
+
+// artifactsFor picks the artifact cache for a run with the given resolved
+// base parameters: the session cache when they match the session's (so
+// repeated runs regenerate nothing), otherwise a fresh per-run cache —
+// with the session's on-disk store attached, so even mismatched-parameter
+// runs warm-start from disk. nil (the "let the runner make its own"
+// convention) only when there is neither a session match nor a store.
+func (e *Engine) artifactsFor(seed int64, scale float64, profileTraces, evalTraces int) *sweep.Artifacts {
+	if e.wb.Artifacts().Matches(seed, scale, profileTraces, evalTraces) {
+		return e.wb.Artifacts()
+	}
+	st := e.wb.Artifacts().Store()
+	if st == nil {
+		return nil
+	}
+	arts := sweep.NewArtifacts(seed, scale, profileTraces, evalTraces, e.workers)
+	arts.SetStore(st)
+	return arts
 }
 
 // inheritBase fills zero-valued base parameters — the "zero means inherit
@@ -300,10 +360,7 @@ func (e *Engine) BenchProgress(ctx context.Context, cfg BenchConfig, progress io
 	if resolved.Workers == 0 {
 		resolved.Workers = e.workers
 	}
-	var arts *sweep.Artifacts
-	if e.wb.Artifacts().Matches(resolved.Seed, resolved.Scale, resolved.ProfileTraces, resolved.EvalTraces) {
-		arts = e.wb.Artifacts()
-	}
+	arts := e.artifactsFor(resolved.Seed, resolved.Scale, resolved.ProfileTraces, resolved.EvalTraces)
 	return bench.RunWith(ctx, resolved, progress, arts)
 }
 

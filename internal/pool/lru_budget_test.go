@@ -1,0 +1,121 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSetBudgetInFlightCompletion pins the over-budget window down: a
+// computation in flight when SetBudget lowers the budget must still insert
+// and evict inside one critical section, so no observer ever sees the
+// resident weight above the new budget — not even for the instant between
+// the completion's insert and its eviction pass.
+func TestSetBudgetInFlightCompletion(t *testing.T) {
+	lru := NewLRU[int](1000, func(v int) int64 { return int64(v) })
+	ctx := context.Background()
+
+	// A resident entry that fits the initial budget.
+	if _, err := lru.Do(ctx, "resident", func() (int, error) { return 400, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := lru.Do(ctx, "inflight", func() (int, error) {
+			close(started)
+			<-release
+			return 900, nil
+		})
+		if err != nil {
+			t.Errorf("inflight Do: %v", err)
+		}
+	}()
+	<-started
+
+	// Shrink the budget below the resident weight while the computation
+	// runs. The resident entry must go; the in-flight one is untouched (a
+	// live key is never evicted).
+	lru.SetBudget(300)
+	if st := lru.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("after SetBudget(300): %+v, want the 400-weight entry evicted", st)
+	}
+
+	// Let the in-flight computation complete: it weighs 900 > 300, so the
+	// insert must evict it in the same lock scope — the value still returns
+	// to its caller, it just never becomes resident.
+	close(release)
+	<-done
+	st := lru.Stats()
+	if st.Bytes > 300 {
+		t.Fatalf("completing insert left %d resident bytes over the 300 budget", st.Bytes)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("an over-budget completion stayed resident: %+v", st)
+	}
+	// The caller of the evicted computation still got its value; later
+	// callers recompute.
+	recomputed := false
+	v, err := lru.Do(ctx, "inflight", func() (int, error) { recomputed = true; return 123, nil })
+	if err != nil || v != 123 || !recomputed {
+		t.Fatalf("post-eviction Do = %d, %v (recomputed=%v)", v, err, recomputed)
+	}
+}
+
+// TestSetBudgetStress hammers inserts, hits, and concurrent SetBudget calls
+// (run under -race): at every observation point the resident weight must
+// respect the largest budget any concurrent SetBudget could have installed,
+// and after quiescence the final (smallest) budget holds exactly.
+func TestSetBudgetStress(t *testing.T) {
+	const (
+		maxBudget = 10_000
+		minBudget = maxBudget / 2
+		workers   = 8
+		rounds    = 200
+	)
+	lru := NewLRU[int](maxBudget, func(v int) int64 { return int64(v) })
+	ctx := context.Background()
+
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch {
+				case w == 0 && i%10 == 0:
+					// Toggle the budget between the two bounds.
+					if i%20 == 0 {
+						lru.SetBudget(minBudget)
+					} else {
+						lru.SetBudget(maxBudget)
+					}
+				default:
+					key := fmt.Sprintf("k%d", (w*rounds+i)%64)
+					weight := 100 + (w*rounds+i)%900
+					if _, err := lru.Do(ctx, key, func() (int, error) { return weight, nil }); err != nil {
+						t.Errorf("Do: %v", err)
+						return
+					}
+				}
+				if st := lru.Stats(); st.Bytes > maxBudget {
+					violations.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := violations.Load(); n > 0 {
+		t.Errorf("observed %d instants with resident bytes above every concurrent budget", n)
+	}
+	lru.SetBudget(minBudget)
+	if st := lru.Stats(); st.Bytes > minBudget {
+		t.Errorf("final SetBudget left %d resident bytes over the %d budget", st.Bytes, minBudget)
+	}
+}

@@ -49,6 +49,14 @@ type Machine struct {
 	// per-instruction-event constant.
 	baseBlockCycles uint64
 
+	// restored* substitute for the live per-level cache aggregation when
+	// the machine was reconstructed from a persisted result
+	// (internal/store): the cache objects are not persisted, only their
+	// aggregate statistics, and a restored machine only answers counter
+	// queries — it never executes.
+	restored                                 bool
+	restoredL1I, restoredL1D, restoredShared cache.Stats
+
 	// Counters.
 	Instructions uint64 // dynamic instructions (blocks × InstrPerBlock)
 	L1IMisses    uint64
@@ -234,8 +242,23 @@ func (m *Machine) L1IContains(core int, addr uint64) bool {
 // profiling-style runs).
 func (m *Machine) FlushL1I(core int) { m.l1i[core].Flush() }
 
+// MarkRestored flags a machine deserialized from a persisted result,
+// recording the per-level aggregates its live caches held at serialization
+// time. CacheStats answers from the recorded aggregates; every other
+// counter is an exported field the decoder sets directly. A restored
+// machine must never execute events (its cache objects are gone) — it
+// exists to make persisted results interchangeable with fresh ones in the
+// metric and power reductions.
+func (m *Machine) MarkRestored(l1i, l1d, shared cache.Stats) {
+	m.restored = true
+	m.restoredL1I, m.restoredL1D, m.restoredShared = l1i, l1d, shared
+}
+
 // CacheStats returns per-level aggregate cache statistics.
 func (m *Machine) CacheStats() (l1i, l1d, shared cache.Stats) {
+	if m.restored {
+		return m.restoredL1I, m.restoredL1D, m.restoredShared
+	}
 	for _, c := range m.l1i {
 		s := c.Stats()
 		l1i.Accesses += s.Accesses

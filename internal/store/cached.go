@@ -1,0 +1,89 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"io"
+
+	"addict/internal/pool"
+)
+
+// Codec serializes one artifact kind for the on-disk layer. Encodings must
+// be deterministic enough to round-trip to an equivalent value — the
+// artifacts themselves regenerate deterministically, so a decoded value
+// and a recomputed one must be interchangeable in every downstream report.
+type Codec interface {
+	Encode(w io.Writer, v any) error
+	Decode(r io.Reader) (any, error)
+}
+
+// Entry names an artifact's on-disk identity: the fully-resolved spec
+// string (hashed by the store into the file key) and the codec for its
+// kind. A zero Entry (empty Spec or nil Codec) marks an artifact that is
+// memory-only — the read-through layer skips the disk for it.
+type Entry struct {
+	Spec  string
+	Codec Codec
+}
+
+// CachedStore layers the on-disk store (L2) under an in-memory pool.LRU
+// (L1) as a read-through cache: a lookup consults memory first
+// (single-flight — concurrent callers of one key share one load-or-
+// compute), then disk, then computes; a computed value is written back to
+// disk (best effort) so the next process starts warm. Disk corruption and
+// codec drift surface as misses, never as decoded garbage: the entry is
+// quarantined and recomputed. A nil disk store degrades to the plain
+// in-memory cache.
+type CachedStore struct {
+	mem  *pool.LRU[any]
+	disk *Store
+}
+
+// NewCached wraps an in-memory cache and an optional disk store (nil =
+// memory only).
+func NewCached(mem *pool.LRU[any], disk *Store) *CachedStore {
+	return &CachedStore{mem: mem, disk: disk}
+}
+
+// Mem returns the in-memory layer (for budget and stats plumbing).
+func (c *CachedStore) Mem() *pool.LRU[any] { return c.mem }
+
+// Disk returns the on-disk layer, nil when the cache is memory-only.
+func (c *CachedStore) Disk() *Store { return c.disk }
+
+// SetDisk attaches (or detaches, with nil) the on-disk layer. Values
+// already resident in memory are unaffected; subsequent misses read
+// through.
+func (c *CachedStore) SetDisk(disk *Store) { c.disk = disk }
+
+// Do returns the artifact cached under memKey, reading through memory,
+// then disk (when the entry names an on-disk identity), then compute. The
+// in-memory layer keeps pool.LRU's contract: one computation per key no
+// matter how many concurrent callers, failed or cancelled computations
+// evicted rather than cached.
+func (c *CachedStore) Do(ctx context.Context, memKey string, disk Entry, compute func() (any, error)) (any, error) {
+	if c.disk == nil || disk.Spec == "" || disk.Codec == nil {
+		return c.mem.Do(ctx, memKey, compute)
+	}
+	return c.mem.Do(ctx, memKey, func() (any, error) {
+		if data, ok := c.disk.Get(disk.Spec); ok {
+			v, err := disk.Codec.Decode(bytes.NewReader(data))
+			if err == nil {
+				return v, nil
+			}
+			// The content digest passed but the payload does not decode: a
+			// codec version drift. Quarantine so the fresh encoding below
+			// replaces it instead of failing every future read.
+			c.disk.MarkCorrupt(disk.Spec)
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if encErr := disk.Codec.Encode(&buf, v); encErr == nil {
+			c.disk.Put(disk.Spec, buf.Bytes())
+		}
+		return v, nil
+	})
+}

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+
+	"addict/internal/pool"
+)
+
+// jsonCodec is the test codec: JSON of a string.
+type jsonCodec struct{}
+
+func (jsonCodec) Encode(w io.Writer, v any) error { return json.NewEncoder(w).Encode(v.(string)) }
+func (jsonCodec) Decode(r io.Reader) (any, error) {
+	var s string
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// brokenCodec decodes nothing — the codec-drift stand-in.
+type brokenCodec struct{}
+
+func (brokenCodec) Encode(w io.Writer, v any) error { return json.NewEncoder(w).Encode(v.(string)) }
+func (brokenCodec) Decode(r io.Reader) (any, error) {
+	return nil, errors.New("stale encoding")
+}
+
+func newCached(t *testing.T) *CachedStore {
+	t.Helper()
+	disk, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCached(pool.NewLRU[any](0, nil), disk)
+}
+
+func TestCachedReadThrough(t *testing.T) {
+	c := newCached(t)
+	entry := Entry{Spec: "rt-spec", Codec: jsonCodec{}}
+	computes := 0
+	compute := func() (any, error) { computes++; return "value", nil }
+
+	v, err := c.Do(context.Background(), "k", entry, compute)
+	if err != nil || v.(string) != "value" {
+		t.Fatalf("first Do = %v, %v", v, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	// Second call: memory hit, no disk read, no compute.
+	if _, err := c.Do(context.Background(), "k", entry, compute); err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Fatalf("memory hit recomputed: computes = %d", computes)
+	}
+	// New memory layer over the same disk: disk hit, still no compute.
+	c2 := NewCached(pool.NewLRU[any](0, nil), c.Disk())
+	v, err = c2.Do(context.Background(), "k", entry, compute)
+	if err != nil || v.(string) != "value" {
+		t.Fatalf("disk read-through = %v, %v", v, err)
+	}
+	if computes != 1 {
+		t.Fatalf("disk hit recomputed: computes = %d", computes)
+	}
+	if st := c.Disk().Stats(); st.Hits != 1 {
+		t.Errorf("disk hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestCachedMemoryOnlyEntry(t *testing.T) {
+	c := newCached(t)
+	computes := 0
+	v, err := c.Do(context.Background(), "mem-only", Entry{}, func() (any, error) {
+		computes++
+		return "ephemeral", nil
+	})
+	if err != nil || v.(string) != "ephemeral" {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if st := c.Disk().Stats(); st.Writes != 0 || st.Misses != 0 {
+		t.Errorf("zero Entry touched the disk: %+v", st)
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d", computes)
+	}
+}
+
+func TestCachedNilDisk(t *testing.T) {
+	c := NewCached(pool.NewLRU[any](0, nil), nil)
+	v, err := c.Do(context.Background(), "k", Entry{Spec: "s", Codec: jsonCodec{}}, func() (any, error) {
+		return "plain", nil
+	})
+	if err != nil || v.(string) != "plain" {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+}
+
+func TestCachedComputeErrorNotPersisted(t *testing.T) {
+	c := newCached(t)
+	entry := Entry{Spec: "err-spec", Codec: jsonCodec{}}
+	boom := errors.New("boom")
+	if _, err := c.Do(context.Background(), "k", entry, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Disk().Stats(); st.Writes != 0 {
+		t.Errorf("a failed compute was persisted: %+v", st)
+	}
+	// The key stays retryable.
+	v, err := c.Do(context.Background(), "k", entry, func() (any, error) { return "ok", nil })
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+func TestCachedCodecDriftQuarantinesAndRecomputes(t *testing.T) {
+	disk, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the disk with an entry the (new) codec can no longer decode.
+	old := NewCached(pool.NewLRU[any](0, nil), disk)
+	if _, err := old.Do(context.Background(), "k", Entry{Spec: "drift", Codec: jsonCodec{}}, func() (any, error) {
+		return "v1-encoding", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCached(pool.NewLRU[any](0, nil), disk)
+	computes := 0
+	v, err := c.Do(context.Background(), "k", Entry{Spec: "drift", Codec: brokenCodec{}}, func() (any, error) {
+		computes++
+		return "v2-value", nil
+	})
+	if err != nil || v.(string) != "v2-value" {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1 (recompute on drift)", computes)
+	}
+	st := disk.Stats()
+	if st.VerifyFailures != 1 {
+		t.Errorf("verify_failures = %d, want 1 (drift quarantined)", st.VerifyFailures)
+	}
+	// The fresh encoding replaced the quarantined one.
+	if st.Writes != 2 {
+		t.Errorf("writes = %d, want 2", st.Writes)
+	}
+}

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "test|seed=1|wl=TPC-C"
+	payload := []byte("the artifact payload")
+	if _, ok := s.Get(spec); ok {
+		t.Fatal("Get on an empty store reported a hit")
+	}
+	s.Put(spec, payload)
+	got, ok := s.Get(spec)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %q want %q", got, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 write", st)
+	}
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("resident set = %d entries / %d bytes, want 1 entry, positive bytes", st.Entries, st.Bytes)
+	}
+}
+
+func TestDistinctSpecsDistinctEntries(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("spec-a", []byte("aaa"))
+	s.Put("spec-b", []byte("bbb"))
+	if got, ok := s.Get("spec-a"); !ok || string(got) != "aaa" {
+		t.Fatalf("spec-a = %q, %v", got, ok)
+	}
+	if got, ok := s.Get("spec-b"); !ok || string(got) != "bbb" {
+		t.Fatalf("spec-b = %q, %v", got, ok)
+	}
+}
+
+func TestReopenWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put("persist-spec", []byte("survives restarts"))
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("persist-spec")
+	if !ok || string(got) != "survives restarts" {
+		t.Fatalf("reopened store: got %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Errorf("reopened store indexed %d entries, want 1", st.Entries)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("empty", nil)
+	got, ok := s.Get("empty")
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty payload: got %q, %v", got, ok)
+	}
+}
+
+// entryFile locates the single .art file the test wrote, so corruption
+// tests can damage it.
+func entryFile(t *testing.T, s *Store, spec string) string {
+	t.Helper()
+	_, file := s.path(Key(spec))
+	if _, err := os.Stat(file); err != nil {
+		t.Fatalf("entry file: %v", err)
+	}
+	return file
+}
+
+func TestCorruptionTruncated(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "truncate-me"
+	s.Put(spec, bytes.Repeat([]byte("x"), 4096))
+	file := entryFile(t, s, spec)
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(spec); ok {
+		t.Fatal("truncated entry read as a hit")
+	}
+	st := s.Stats()
+	if st.VerifyFailures != 1 {
+		t.Errorf("verify_failures = %d, want 1", st.VerifyFailures)
+	}
+	// The corrupt file must be quarantined: a second read is a plain miss,
+	// not another verification failure.
+	if _, ok := s.Get(spec); ok {
+		t.Fatal("quarantined entry read as a hit")
+	}
+	if st := s.Stats(); st.VerifyFailures != 1 {
+		t.Errorf("verify_failures after quarantine = %d, want still 1", st.VerifyFailures)
+	}
+	// Recompute-and-rewrite heals the entry.
+	s.Put(spec, []byte("fresh"))
+	if got, ok := s.Get(spec); !ok || string(got) != "fresh" {
+		t.Fatalf("healed entry: got %q, %v", got, ok)
+	}
+}
+
+func TestCorruptionBitFlip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "flip-me"
+	s.Put(spec, bytes.Repeat([]byte("y"), 1024))
+	file := entryFile(t, s, spec)
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(spec); ok {
+		t.Fatal("bit-flipped entry read as a hit")
+	}
+	if st := s.Stats(); st.VerifyFailures != 1 {
+		t.Errorf("verify_failures = %d, want 1", st.VerifyFailures)
+	}
+}
+
+func TestCorruptionSpecMismatch(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "original-spec"
+	s.Put(spec, []byte("payload"))
+	// Simulate a caller bug (or hash collision): the file under this key
+	// was written for a different spec. Copy the entry under another key.
+	_, src := s.path(Key(spec))
+	other := "other-spec"
+	dstDir, dst := s.path(Key(other))
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(other); ok {
+		t.Fatal("entry with mismatched spec read as a hit")
+	}
+}
+
+func TestStrayTempFileIsMissAndSwept(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash between create and rename leaves "<key>.art.tmp-*" behind;
+	// it must never read as an entry.
+	spec := "crashed-write"
+	key := Key(spec)
+	sub := filepath.Join(dir, key[:2])
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(sub, key+".art.tmp-12345")
+	if err := os.WriteFile(stray, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(spec); ok {
+		t.Fatal("stray temp file read as a hit")
+	}
+	if st := s.Stats(); st.VerifyFailures != 0 {
+		t.Errorf("a stray temp file is a plain miss, not a verify failure; got %d", st.VerifyFailures)
+	}
+	// Fresh temp files survive GC (a live writer may own them) ...
+	s.GC()
+	if _, err := os.Stat(stray); err != nil {
+		t.Fatalf("fresh temp file swept: %v", err)
+	}
+	// ... stale ones are swept.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(stray, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.GC()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file not swept: %v", err)
+	}
+}
+
+func TestGCBudget(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("z"), 1000)
+	specs := []string{"gc-a", "gc-b", "gc-c", "gc-d", "gc-e", "gc-f"}
+	for i, spec := range specs {
+		s.Put(spec, payload)
+		// Distinct mtimes give the GC a deterministic recency order.
+		when := time.Now().Add(time.Duration(i-len(specs)) * time.Minute)
+		file := entryFile(t, s, spec)
+		if err := os.Chtimes(file, when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.GC()
+	st := s.Stats()
+	if st.Bytes > 4096 {
+		t.Errorf("resident bytes %d exceed the 4096 budget", st.Bytes)
+	}
+	if st.GCEvictions == 0 {
+		t.Error("GC over budget evicted nothing")
+	}
+	// The newest entry must survive; the oldest must be gone.
+	if _, ok := s.Get(specs[len(specs)-1]); !ok {
+		t.Error("newest entry was evicted")
+	}
+	if _, ok := s.Get(specs[0]); ok {
+		t.Error("oldest entry survived a GC that had to evict")
+	}
+}
+
+func TestGCSweepsQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "quarantine-sweep"
+	s.Put(spec, []byte("data"))
+	file := entryFile(t, s, spec)
+	if err := os.WriteFile(file, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(spec); ok {
+		t.Fatal("garbage read as a hit")
+	}
+	bad := file + ".bad"
+	if _, err := os.Stat(bad); err != nil {
+		t.Fatalf("no quarantine file: %v", err)
+	}
+	s.GC()
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("quarantine file not swept: %v", err)
+	}
+}
+
+func TestPutOverwriteKeepsIndexConsistent(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "rewrite"
+	s.Put(spec, bytes.Repeat([]byte("a"), 100))
+	before := s.Stats().Bytes
+	s.Put(spec, bytes.Repeat([]byte("b"), 5000))
+	st := s.Stats()
+	if st.Entries != 1 {
+		t.Errorf("entries = %d after overwrite, want 1", st.Entries)
+	}
+	if st.Bytes <= before {
+		t.Errorf("bytes = %d after larger overwrite, want > %d", st.Bytes, before)
+	}
+}
+
+func TestOpenEmptyDirErrors(t *testing.T) {
+	if _, err := Open("", 0); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+func TestKeyIsHexSHA256(t *testing.T) {
+	key := Key("some spec")
+	if len(key) != 64 || strings.ToLower(key) != key {
+		t.Fatalf("key %q is not lowercase hex sha256", key)
+	}
+	if Key("some spec") != key {
+		t.Fatal("Key is not deterministic")
+	}
+	if Key("other spec") == key {
+		t.Fatal("distinct specs share a key")
+	}
+}

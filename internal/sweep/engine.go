@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync/atomic"
 
@@ -10,6 +11,7 @@ import (
 	"addict/internal/pool"
 	"addict/internal/sched"
 	"addict/internal/sim"
+	"addict/internal/store"
 	"addict/internal/trace"
 	"addict/internal/workload"
 )
@@ -104,8 +106,11 @@ type Artifacts struct {
 	// Keys are kind-prefixed ("profset", "evalset", "profile", "result");
 	// values are weighed by artifactWeight. Unbounded by default (every
 	// artifact stays resident, the pre-eviction behavior); Bound turns on
-	// eviction for serving deployments.
-	cache *pool.LRU[any]
+	// eviction for serving deployments. An attached on-disk store
+	// (SetStore) layers underneath as a read-through L2: memory misses
+	// load from disk before recomputing, and computed artifacts spill to
+	// disk so the next process starts warm.
+	cache *store.CachedStore
 }
 
 // NewArtifacts prepares an empty artifact cache whose trace generation may
@@ -121,7 +126,7 @@ func NewArtifacts(seed int64, scale float64, profileTraces, evalTraces, workers 
 		evalTraces:    evalTraces,
 		workers:       workers,
 		layout:        codemap.NewLayout(),
-		cache:         pool.NewLRU[any](0, artifactWeight),
+		cache:         store.NewCached(pool.NewLRU[any](0, artifactWeight), nil),
 	}
 }
 
@@ -129,13 +134,33 @@ func NewArtifacts(seed int64, scale float64, profileTraces, evalTraces, workers 
 // (<= 0 = unbounded) and immediately evicts down to it. Eviction is safe
 // at any time: artifacts regenerate deterministically, so an evicted
 // window or profile recomputes to identical content — only pointer
-// identity across calls is lost once a budget is set.
-func (a *Artifacts) Bound(budget int64) { a.cache.SetBudget(budget) }
+// identity across calls is lost once a budget is set. With a store
+// attached, an evicted artifact usually reloads from disk instead of
+// recomputing.
+func (a *Artifacts) Bound(budget int64) { a.cache.Mem().SetBudget(budget) }
+
+// SetStore attaches an on-disk artifact store as the read-through L2
+// under the in-memory cache (nil detaches). Artifacts already resident in
+// memory are unaffected; subsequent misses load from the store before
+// recomputing, and computed artifacts are persisted best-effort.
+func (a *Artifacts) SetStore(st *store.Store) { a.cache.SetDisk(st) }
+
+// Store returns the attached on-disk store, nil when memory-only.
+func (a *Artifacts) Store() *store.Store { return a.cache.Disk() }
 
 // CacheStats reports the artifact cache's counters (resident bytes and
 // entries, hits/misses/evictions). Bytes are the artifactWeight estimates,
 // not exact heap usage.
-func (a *Artifacts) CacheStats() pool.CacheStats { return a.cache.Stats() }
+func (a *Artifacts) CacheStats() pool.CacheStats { return a.cache.Mem().Stats() }
+
+// StoreStats reports the attached on-disk store's counters; ok is false
+// when no store is attached.
+func (a *Artifacts) StoreStats() (s store.Stats, ok bool) {
+	if d := a.cache.Disk(); d != nil {
+		return d.Stats(), true
+	}
+	return store.Stats{}, false
+}
 
 // artifactWeight estimates an artifact's resident footprint in bytes for
 // the cache's weight accounting. Trace sets dominate (16 bytes per packed
@@ -162,7 +187,15 @@ func artifactWeight(v any) int64 {
 	case sim.Result:
 		return entryOverhead + 512 + 8*int64(len(x.CoreActive))
 	default:
-		return 1024
+		// An unrecognized kind must never undermine the budget: a flat
+		// guess lets a large value count as a few bytes and the resident
+		// set overshoot. Size the fallback from the encoded value (doubled:
+		// Go heap objects outweigh their wire form), and when the value
+		// does not even encode, assume it is large.
+		if data, err := json.Marshal(v); err == nil {
+			return entryOverhead + 2*int64(len(data))
+		}
+		return 1 << 20
 	}
 }
 
@@ -183,7 +216,7 @@ func (a *Artifacts) Matches(seed int64, scale float64, profileTraces, evalTraces
 // space, worker-count independent. The workload name resolves through the
 // workload-name registry (TPC benchmarks, "synth:" encoded names).
 func (a *Artifacts) ProfileSet(ctx context.Context, name string) (*trace.Set, error) {
-	v, err := a.cache.Do(ctx, "profset\x00"+name, func() (any, error) {
+	v, err := a.cache.Do(ctx, "profset\x00"+name, a.setEntry("profset", name), func() (any, error) {
 		r, err := workload.Resolve(name)
 		if err != nil {
 			return nil, err
@@ -201,7 +234,7 @@ func (a *Artifacts) ProfileSet(ctx context.Context, name string) (*trace.Set, er
 // 1000"): the shards immediately after the profiling window, so the two
 // sets are disjoint by construction regardless of computation order.
 func (a *Artifacts) EvalSet(ctx context.Context, name string) (*trace.Set, error) {
-	v, err := a.cache.Do(ctx, "evalset\x00"+name, func() (any, error) {
+	v, err := a.cache.Do(ctx, "evalset\x00"+name, a.setEntry("evalset", name), func() (any, error) {
 		r, err := workload.Resolve(name)
 		if err != nil {
 			return nil, err
@@ -221,7 +254,7 @@ func (a *Artifacts) EvalSet(ctx context.Context, name string) (*trace.Set, error
 // applied (Section 3.1.3).
 func (a *Artifacts) Profile(ctx context.Context, name string, m sim.Config) (*core.Profile, error) {
 	key := fmt.Sprintf("profile\x00%s\x00%d\x00%d", name, m.L1I.SizeBytes, m.L1I.Ways)
-	v, err := a.cache.Do(ctx, key, func() (any, error) {
+	v, err := a.cache.Do(ctx, key, a.profileEntry(name, m), func() (any, error) {
 		set, err := a.ProfileSet(ctx, name)
 		if err != nil {
 			return nil, err

@@ -9,6 +9,7 @@ import (
 	"addict/internal/pool"
 	"addict/internal/sched"
 	"addict/internal/sim"
+	"addict/internal/store"
 	"addict/internal/trace"
 )
 
@@ -76,6 +77,10 @@ func (w *Workbench) Bound(budget int64) { w.arts.Bound(budget) }
 // (artifactWeight estimates), entries, hits, misses, evictions.
 func (w *Workbench) CacheStats() pool.CacheStats { return w.arts.CacheStats() }
 
+// StoreStats reports the attached on-disk store's counters; ok is false
+// when the session is memory-only.
+func (w *Workbench) StoreStats() (s store.Stats, ok bool) { return w.arts.StoreStats() }
+
 // ProfileSet returns the workload's profiling trace window.
 func (w *Workbench) ProfileSet(ctx context.Context, name string) (*trace.Set, error) {
 	return w.arts.ProfileSet(ctx, name)
@@ -100,7 +105,8 @@ func (w *Workbench) Profile(ctx context.Context, name string) (*core.Profile, er
 // sweep unit on the session machine.
 func (w *Workbench) Result(ctx context.Context, name string, mech sched.Mechanism) (sim.Result, error) {
 	key := "result\x00" + w.machineSig + "\x00" + name + "\x00" + string(mech)
-	v, err := w.arts.cache.Do(ctx, key, func() (any, error) {
+	entry := w.arts.resultEntry(name, string(mech), w.machineSig)
+	v, err := w.arts.cache.Do(ctx, key, entry, func() (any, error) {
 		var prof *core.Profile
 		if mech == sched.ADDICT {
 			p, err := w.Profile(ctx, name)
