@@ -4,8 +4,9 @@
 //
 // The package wires together the reproduction's subsystems — the
 // instrumented storage manager, the TPC workloads, Algorithm 1/2 (migration
-// point discovery and core assignment), the four scheduling mechanisms, and
-// the multicore timing simulator — behind a small facade. The typical
+// point discovery and core assignment), the scheduling mechanisms (the
+// paper's four plus two related-work extensions), and the multicore timing
+// simulator — behind a small facade. The typical
 // pipeline is:
 //
 //	eng := addict.NewEngine(addict.WithTraceWindows(1000, 1000, 10000))
@@ -40,8 +41,8 @@
 // the worker count; shared artifacts (trace sets, profiles, replay
 // results) are single-flight memoized in a concurrency-safe workbench; and
 // the simulator itself is a deterministic discrete-event engine with a
-// total (time, thread-ID) order. ScheduleAll replays a trace set under all
-// four mechanisms concurrently, and GenerateTracesSharded exposes the
+// total (time, thread-ID) order. ScheduleAll replays a trace set under the
+// paper's four mechanisms concurrently, and GenerateTracesSharded exposes the
 // worker-count-independent trace generator; cmd/addict-bench drives the
 // pool via its -parallel flag.
 //
@@ -115,16 +116,35 @@ type Assignment = core.Assignment
 // Mechanism names a scheduling mechanism.
 type Mechanism = sched.Mechanism
 
-// The four evaluated scheduling mechanisms (Section 4.1).
+// The evaluated scheduling mechanisms: the paper's four (Section 4.1) plus
+// the two related-work extensions (see internal/sched's package doc for
+// provenance and DESIGN.md §12 for the mechanism reference).
 const (
 	Baseline = sched.Baseline
 	STREX    = sched.STREX
 	SLICC    = sched.SLICC
 	ADDICT   = sched.ADDICT
+	HTMSPEC  = sched.HTMSPEC
+	CHAIN    = sched.CHAIN
 )
 
-// Mechanisms lists all four in the paper's presentation order.
+// Mechanisms lists the paper's four mechanisms in its presentation order —
+// the figure experiments' evaluation axis (and ScheduleAll's).
 var Mechanisms = sched.Mechanisms
+
+// AllMechanisms lists every implemented mechanism family: the paper's four
+// plus HTMSPEC and CHAIN. Name-resolving entry points (sweep grids, the
+// serving API, ParseMechanism) accept this set.
+var AllMechanisms = sched.AllMechanisms
+
+// ParseMechanism resolves a mechanism name (any letter case, any of
+// AllMechanisms) to its canonical constant; unknown names get a
+// nearest-name suggestion.
+func ParseMechanism(name string) (Mechanism, error) { return sched.ParseMechanism(name) }
+
+// SpecStats are HTMSPEC's speculation counters (Result.Spec); all-zero for
+// the non-speculative mechanisms.
+type SpecStats = sim.SpecStats
 
 // MachineConfig describes the simulated multicore (Table 1).
 type MachineConfig = sim.Config

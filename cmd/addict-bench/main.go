@@ -13,8 +13,8 @@
 //	addict-bench -traces 500     # override trace counts
 //	addict-bench -list           # list experiment ids
 //	addict-bench -json BENCH.json                     # benchmark harness
-//	addict-bench -json BENCH_6.json -baseline BENCH_5.json
-//	addict-bench -json BENCH_ci.json -baseline BENCH_6.json \
+//	addict-bench -json BENCH_10.json -baseline BENCH_9.json
+//	addict-bench -json BENCH_ci.json -baseline BENCH_9.json \
 //	    -max-cell-regress 0.25 -max-regress 0.5 -verdict verdict.txt
 //
 // The full report runs on a worker pool (-parallel, default: all available

@@ -70,8 +70,8 @@ func TestBenchJSON(t *testing.T) {
 	if file.Current.Replay.EventsPerSec <= 0 || file.Current.Replay.Events == 0 {
 		t.Fatalf("degenerate replay summary: %s", data)
 	}
-	if got, want := len(file.Current.Cells), 5*4; got != want {
-		t.Fatalf("%d cells, want %d (3 TPC + 2 synth workloads × 4 mechanisms)", got, want)
+	if got, want := len(file.Current.Cells), 5*4+2; got != want {
+		t.Fatalf("%d cells, want %d (3 TPC + 2 synth workloads × 4 mechanisms, plus the two speculative extra cells)", got, want)
 	}
 	if file.Speedup != 0 {
 		t.Fatalf("speedup recorded without a baseline: %v", file.Speedup)
@@ -215,11 +215,11 @@ func TestMaxCellRegressGate(t *testing.T) {
 	if err := json.Unmarshal(data, &gated); err != nil {
 		t.Fatal(err)
 	}
-	if gated.Gate == nil || !gated.Gate.Pass || len(gated.Gate.Cells) != 5*4 {
+	if gated.Gate == nil || !gated.Gate.Pass || len(gated.Gate.Cells) != 5*4+2 {
 		t.Fatalf("JSON report missing the gate verdict: %s", data)
 	}
-	if len(gated.SpeedupCells) != 5*4 {
-		t.Fatalf("%d per-cell speedups in JSON report, want %d", len(gated.SpeedupCells), 5*4)
+	if len(gated.SpeedupCells) != 5*4+2 {
+		t.Fatalf("%d per-cell speedups in JSON report, want %d", len(gated.SpeedupCells), 5*4+2)
 	}
 
 	// Fail case: inflate one non-reference cell of the baseline 4x. The

@@ -264,15 +264,15 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		})
 }
 
-// parseMechanism resolves a mechanism name against the four shipped
-// mechanisms.
+// parseMechanism resolves a mechanism name against every shipped
+// mechanism family (case-insensitive, with a nearest-name suggestion on a
+// typo), mapped to a 400 for the client.
 func parseMechanism(name string) (addict.Mechanism, error) {
-	for _, m := range addict.Mechanisms {
-		if string(m) == name {
-			return m, nil
-		}
+	m, err := addict.ParseMechanism(name)
+	if err != nil {
+		return "", badRequest("%v", err)
 	}
-	return "", badRequest("unknown mechanism %q (want Baseline, STREX, SLICC, ADDICT)", name)
+	return m, nil
 }
 
 func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {

@@ -39,7 +39,7 @@ import (
 // axisHelp documents every -grid axis.
 var axisHelp = []struct{ name, desc string }{
 	{"workload", "benchmark names (TPC-B, TPC-C, TPC-E)"},
-	{"mech", "scheduling mechanisms (Baseline, STREX, SLICC, ADDICT)"},
+	{"mech", "scheduling mechanisms (Baseline, STREX, SLICC, ADDICT, HTMSPEC, CHAIN)"},
 	{"l1i", "L1-I sizes in bytes (K/M suffixes: 16K, 32K)"},
 	{"l1iways", "L1-I associativities"},
 	{"llc", "shared-cache total sizes in bytes (8M, 16M)"},

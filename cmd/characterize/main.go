@@ -1,8 +1,8 @@
 // Command characterize runs the paper's Section 2 memory characterization
 // (Figures 1-3) — operation footprints, instruction/data overlap, and
 // within-instance reuse — on generated traces or a saved trace file, and
-// the synthetic-workload characterization (mechanism rankings across the
-// shipped scenario presets).
+// the synthetic-workload characterization (rankings of all six mechanism
+// families across the shipped scenario presets).
 //
 // Usage:
 //

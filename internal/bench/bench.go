@@ -55,6 +55,19 @@ type Config struct {
 	// Workers parallelizes trace generation only; measurement itself is
 	// strictly serial so cells are comparable.
 	Workers int
+	// ExtraCells are additional workload × mechanism cells measured after
+	// the full Workloads × Mechanisms grid, in order. They let the
+	// trajectory carry targeted cells (the speculative mechanisms on the
+	// contended synthetic regime) without multiplying the whole grid.
+	// Unlike the other fields, an empty list stays empty — extras are
+	// opt-in via DefaultConfig, not a default.
+	ExtraCells []ExtraCell
+}
+
+// ExtraCell names one additional workload × mechanism cell.
+type ExtraCell struct {
+	Workload  string
+	Mechanism sched.Mechanism
 }
 
 // DefaultConfig returns the standard harness setup (quick evaluation
@@ -62,15 +75,21 @@ type Config struct {
 // uniform read-only cell and a zipfian hot read-write cell — so the
 // BENCH_*.json trajectory measures replay performance on non-TPC access
 // patterns too (BENCH_5.json onward; earlier trajectory points carry TPC
-// cells only). Reports generated from different sizes or workload sets
-// are not comparable; trajectories should all use this configuration.
+// cells only), and two extra cells putting the speculative mechanisms
+// (HTMSPEC, CHAIN) on the contended zipfian regime (BENCH_9.json onward).
+// Reports generated from different sizes or cell sets are not comparable;
+// trajectories should all use this configuration.
 func DefaultConfig() Config {
 	return Config{
 		Workloads: []string{
 			"TPC-B", "TPC-C", "TPC-E",
 			"synth:uniform-ro", "synth:zipf-hot-rw",
 		},
-		Mechanisms:    sched.Mechanisms,
+		Mechanisms: sched.Mechanisms,
+		ExtraCells: []ExtraCell{
+			{Workload: "synth:zipf-hot-rw", Mechanism: sched.HTMSPEC},
+			{Workload: "synth:zipf-hot-rw", Mechanism: sched.CHAIN},
+		},
 		Seed:          42,
 		Scale:         0.5,
 		ProfileTraces: 250,
@@ -182,6 +201,11 @@ func RunWith(ctx context.Context, cfg Config, progress io.Writer, arts *sweep.Ar
 			return nil, fmt.Errorf("bench: %w", err)
 		}
 	}
+	for _, ec := range cfg.ExtraCells {
+		if err := sweep.ValidateWorkloadName(ec.Workload); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+	}
 	if arts != nil && !arts.Matches(cfg.Seed, cfg.Scale, cfg.ProfileTraces, cfg.EvalTraces) {
 		arts = nil
 	}
@@ -201,30 +225,44 @@ func RunWith(ctx context.Context, cfg Config, progress io.Writer, arts *sweep.Ar
 		MinRuns:       cfg.MinRuns,
 		MinDuration:   cfg.MinDuration,
 	}
-	for _, name := range cfg.Workloads {
+	// measure runs one cell and folds it into the report; the artifact
+	// cache memoizes, so an extra cell on an already-measured workload
+	// reuses its trace set and profile.
+	measure := func(name string, mech sched.Mechanism) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		set, err := arts.EvalSet(ctx, name)
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", name, err)
+			return fmt.Errorf("bench: %s: %w", name, err)
 		}
 		prof, err := arts.Profile(ctx, name, cfg.Machine)
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", name, err)
+			return fmt.Errorf("bench: %s: %w", name, err)
 		}
+		cell, err := measureCell(mech, set, prof, cfg)
+		if err != nil {
+			return fmt.Errorf("bench: %s on %s: %w", mech, name, err)
+		}
+		rep.Cells = append(rep.Cells, cell)
+		rep.Replay.Events += cell.Events * uint64(cell.Runs)
+		rep.Replay.Seconds += cell.NsPerEvent * float64(cell.Events) * float64(cell.Runs) / 1e9
+		if progress != nil {
+			fmt.Fprintf(progress, "bench %-8s %-8s %8.1f ns/event  %.2fM events/sec  (%d runs)\n",
+				name, mech, cell.NsPerEvent, cell.EventsPerSec/1e6, cell.Runs)
+		}
+		return nil
+	}
+	for _, name := range cfg.Workloads {
 		for _, mech := range cfg.Mechanisms {
-			if err := ctx.Err(); err != nil {
+			if err := measure(name, mech); err != nil {
 				return nil, err
 			}
-			cell, err := measureCell(mech, set, prof, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s on %s: %w", mech, name, err)
-			}
-			rep.Cells = append(rep.Cells, cell)
-			rep.Replay.Events += cell.Events * uint64(cell.Runs)
-			rep.Replay.Seconds += cell.NsPerEvent * float64(cell.Events) * float64(cell.Runs) / 1e9
-			if progress != nil {
-				fmt.Fprintf(progress, "bench %-8s %-8s %8.1f ns/event  %.2fM events/sec  (%d runs)\n",
-					name, mech, cell.NsPerEvent, cell.EventsPerSec/1e6, cell.Runs)
-			}
+		}
+	}
+	for _, ec := range cfg.ExtraCells {
+		if err := measure(ec.Workload, ec.Mechanism); err != nil {
+			return nil, err
 		}
 	}
 	if rep.Replay.Seconds > 0 {

@@ -32,7 +32,7 @@ func guardInput(tb testing.TB) (sched.Config, *trace.Set) {
 // identical so only per-event allocations survive the subtraction.
 func TestSteadyStateZeroAlloc(t *testing.T) {
 	cfg, evalSet := guardInput(t)
-	for _, mech := range sched.Mechanisms {
+	for _, mech := range sched.AllMechanisms {
 		mech := mech
 		t.Run(string(mech), func(t *testing.T) {
 			per, err := SteadyStateAllocsPerEvent(mech, evalSet, cfg)
@@ -83,8 +83,17 @@ func TestRunProducesReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Cells) != len(sched.Mechanisms) {
-		t.Fatalf("%d cells, want %d", len(rep.Cells), len(sched.Mechanisms))
+	// The grid (one workload × the paper's four) plus DefaultConfig's two
+	// extra cells, which ride at the end in config order.
+	want := len(sched.Mechanisms) + len(cfg.ExtraCells)
+	if len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	for i, ec := range cfg.ExtraCells {
+		c := rep.Cells[len(sched.Mechanisms)+i]
+		if c.Workload != ec.Workload || c.Mechanism != string(ec.Mechanism) {
+			t.Fatalf("extra cell %d is %s/%s, want %s/%s", i, c.Workload, c.Mechanism, ec.Workload, ec.Mechanism)
+		}
 	}
 	for _, c := range rep.Cells {
 		if c.Events == 0 || c.EventsPerSec <= 0 || c.NsPerEvent <= 0 {
@@ -153,6 +162,7 @@ func TestRunAcceptsSynthWorkloads(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workloads = []string{"synth:uniform-ro"}
 	cfg.Mechanisms = []sched.Mechanism{sched.Baseline, sched.ADDICT}
+	cfg.ExtraCells = nil
 	cfg.Scale = 0.02
 	cfg.ProfileTraces = 20
 	cfg.EvalTraces = 20
@@ -211,3 +221,5 @@ func BenchmarkSchedBaseline(b *testing.B) { benchMechanism(b, sched.Baseline) }
 func BenchmarkSchedSTREX(b *testing.B)    { benchMechanism(b, sched.STREX) }
 func BenchmarkSchedSLICC(b *testing.B)    { benchMechanism(b, sched.SLICC) }
 func BenchmarkSchedADDICT(b *testing.B)   { benchMechanism(b, sched.ADDICT) }
+func BenchmarkSchedHTMSPEC(b *testing.B)  { benchMechanism(b, sched.HTMSPEC) }
+func BenchmarkSchedCHAIN(b *testing.B)    { benchMechanism(b, sched.CHAIN) }

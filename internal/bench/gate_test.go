@@ -219,6 +219,34 @@ func TestCompareRefusesMismatchedCellSets(t *testing.T) {
 	}
 }
 
+// TestGateRefusesPrePR9Baseline models the BENCH_9 trajectory break: the
+// default cell set gained two extra cells (the speculative mechanisms on
+// the contended synthetic regime), so a baseline recorded from the older
+// grid-only configuration must be refused — by Compare and by Gate — with
+// the odd cells named, instead of silently judging a different aggregate.
+func TestGateRefusesPrePR9Baseline(t *testing.T) {
+	flat := func(w, m string) float64 { return 1e6 }
+	old := gateReport(gateWorkloads, gateMechanisms, flat) // pre-PR-9 shape
+	cur := gateReport(gateWorkloads, gateMechanisms, flat)
+	for _, m := range []string{"HTMSPEC", "CHAIN"} {
+		cur.Cells = append(cur.Cells, Cell{
+			Workload: "synth:zipf-hot-rw", Mechanism: m,
+			Events: 1_000_000, Runs: 2, EventsPerSec: 1e6, NsPerEvent: 1e3,
+		})
+	}
+	if err := Comparable(old, cur); err == nil {
+		t.Error("Comparable accepted a baseline lacking the extra cells")
+	} else if !strings.Contains(err.Error(), "HTMSPEC") || !strings.Contains(err.Error(), "CHAIN") {
+		t.Errorf("refusal does not name the missing cells: %v", err)
+	}
+	if _, err := Compare(old, cur); err == nil {
+		t.Error("Compare accepted a baseline lacking the extra cells")
+	}
+	if _, err := Gate(old, cur, GateConfig{MaxCellRegress: 0.15}); err == nil {
+		t.Error("Gate accepted a baseline lacking the extra cells")
+	}
+}
+
 // TestComparableMeasurementBounds: mismatched recorded bounds refuse, but
 // a v1 baseline with no recorded bounds (zero) is accepted as unknown.
 func TestComparableMeasurementBounds(t *testing.T) {

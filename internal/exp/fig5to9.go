@@ -37,14 +37,21 @@ type Comparison struct {
 	Rows     []MechRow
 }
 
-// Compare runs (or fetches cached) replays of every mechanism on a
-// workload.
+// Compare runs (or fetches cached) replays of the paper's four mechanisms
+// on a workload — the figure experiments' evaluation axis.
 func Compare(w *Workbench, workloadName string) Comparison {
+	return CompareMechs(w, workloadName, sched.Mechanisms)
+}
+
+// CompareMechs is Compare over an explicit mechanism set (the synthetic
+// characterization spans all six families; the figures keep the paper's
+// four). Normalization stays over Baseline regardless of the set.
+func CompareMechs(w *Workbench, workloadName string, mechs []sched.Mechanism) Comparison {
 	cmp := Comparison{Workload: workloadName}
 	base := w.Result(workloadName, sched.Baseline)
 	bm := base.Machine
 	basePower := power.Analyze(base, power.DefaultWeights())
-	for _, mech := range sched.Mechanisms {
+	for _, mech := range mechs {
 		res := w.Result(workloadName, mech)
 		m := res.Machine
 		pw := power.Analyze(res, power.DefaultWeights())

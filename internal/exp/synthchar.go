@@ -47,12 +47,12 @@ type SynthCharResult struct {
 	Rows []SynthCharRow
 }
 
-// SynthChar replays TPC-B and every shipped synthetic preset under all
-// four mechanisms (through the shared workbench, so the TPC-B replays are
-// the same cached runs the figures use) and ranks the mechanisms per
-// scenario. This is the experiment behind the claim that the scenario axes
-// matter: the ranking that holds on the TPC mixes does not hold across the
-// synthetic space.
+// SynthChar replays TPC-B and every shipped synthetic preset under every
+// mechanism family — the paper's four plus HTMSPEC and CHAIN — (through
+// the shared workbench, so the TPC-B replays are the same cached runs the
+// figures use) and ranks the mechanisms per scenario. This is the
+// experiment behind the claim that the scenario axes matter: the ranking
+// that holds on the TPC mixes does not hold across the synthetic space.
 func SynthChar(w *Workbench) SynthCharResult {
 	var res SynthCharResult
 	for _, name := range SynthWorkloads() {
@@ -64,7 +64,7 @@ func SynthChar(w *Workbench) SynthCharResult {
 // synthCharRow characterizes one scenario — the per-scenario unit
 // RunAllParallel fans out over.
 func synthCharRow(w *Workbench, name string) SynthCharRow {
-	c := Compare(w, name)
+	c := CompareMechs(w, name, sched.AllMechanisms)
 	ranking := make([]sched.Mechanism, len(c.Rows))
 	perm := make([]int, len(c.Rows))
 	for i := range perm {

@@ -29,7 +29,7 @@ func equivSetup(t testing.TB) (Config, *trace.Set) {
 // optimization, never a behavior change.
 func TestBatchDispatchMatchesPerEvent(t *testing.T) {
 	cfg, evalSet := equivSetup(t)
-	for _, mech := range Mechanisms {
+	for _, mech := range AllMechanisms {
 		mech := mech
 		t.Run(string(mech), func(t *testing.T) {
 			ref := runWithDispatch(t, mech, evalSet, cfg, true)
@@ -70,6 +70,9 @@ func compareResults(t *testing.T, ref, got sim.Result) {
 	}
 	if ref.OverheadCycles != got.OverheadCycles {
 		t.Errorf("OverheadCycles: per-event %d, batch %d", ref.OverheadCycles, got.OverheadCycles)
+	}
+	if ref.Spec != got.Spec {
+		t.Errorf("Spec: per-event %+v, batch %+v", ref.Spec, got.Spec)
 	}
 	for i := range ref.CoreActive {
 		if ref.CoreActive[i] != got.CoreActive[i] {

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"testing"
+
+	"addict/internal/sim"
+	"addict/internal/trace"
+)
+
+// htmSet wraps hand-built traces into a runnable Set.
+func htmSet(traces []*trace.Trace) *trace.Set {
+	return &trace.Set{Workload: "unit", TypeNames: []string{"unit"}, Traces: traces}
+}
+
+// TestHTMSPECCapacityAbort forces a set-overflow abort deterministically:
+// a single thread's operation touches more distinct lines than the set
+// bound, so validation at the operation's end must take exactly one
+// capacity abort — and with a single thread there is nothing to conflict
+// with.
+func TestHTMSPECCapacityAbort(t *testing.T) {
+	build := func(writes bool) *trace.Set {
+		b := trace.NewBuffer(true)
+		b.TxnBegin(0, "unit")
+		b.OpBegin(0)
+		b.Instr(0x400000)
+		for i := 0; i < 8; i++ {
+			b.Data(uint64(0x200000+i*64), writes)
+		}
+		b.OpEnd(0)
+		b.TxnEnd()
+		return htmSet(b.Take())
+	}
+	for _, tc := range []struct {
+		name   string
+		writes bool
+	}{
+		{"read-set", false},
+		{"write-set", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(sim.Shallow())
+			cfg.HTMSPECReadSetLines = 4
+			cfg.HTMSPECWriteSetLines = 4
+			cfg.HTMSPECMaxAborts = 100 // keep the fallback out of the way
+			res, err := Run(HTMSPEC, build(tc.writes), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sim.SpecStats{CapacityAborts: 1}
+			if res.Spec != want {
+				t.Errorf("Spec = %+v, want %+v", res.Spec, want)
+			}
+		})
+	}
+}
+
+// TestHTMSPECConflictAbort forces a conflicting-line abort
+// deterministically: a reader opens its region, reads a line, and pads
+// long enough that a second thread's write to the same line lands before
+// the region validates. The reader must take exactly one conflict abort;
+// the writer's own region commits (a thread never conflicts with itself).
+func TestHTMSPECConflictAbort(t *testing.T) {
+	const line = uint64(0x300000)
+	rb := trace.NewBuffer(true)
+	rb.TxnBegin(0, "unit")
+	rb.OpBegin(0)
+	rb.Data(line, false)
+	for i := 0; i < 3000; i++ {
+		rb.Instr(0x400000) // warm pad: holds the region open past the write
+	}
+	rb.OpEnd(0)
+	rb.TxnEnd()
+
+	wb := trace.NewBuffer(true)
+	wb.TxnBegin(0, "unit")
+	for i := 0; i < 300; i++ {
+		wb.Instr(0x410000) // pre-region pad: the reader's region opens first
+	}
+	wb.OpBegin(1)
+	wb.Data(line, true)
+	wb.OpEnd(1)
+	wb.TxnEnd()
+
+	cfg := DefaultConfig(sim.Shallow())
+	cfg.HTMSPECMaxAborts = 100
+	res, err := Run(HTMSPEC, htmSet(append(rb.Take(), wb.Take()...)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.SpecStats{ConflictAborts: 1}
+	if res.Spec != want {
+		t.Errorf("Spec = %+v, want %+v", res.Spec, want)
+	}
+}
+
+// TestHTMSPECFallbackAfterMaxAborts forces the bounded-retry fallback: with
+// a two-abort budget and every operation overflowing the read set, the
+// first two operations abort, the thread falls back, and the third
+// operation must run non-speculatively (no third abort).
+func TestHTMSPECFallbackAfterMaxAborts(t *testing.T) {
+	b := trace.NewBuffer(true)
+	b.TxnBegin(0, "unit")
+	for op := 0; op < 3; op++ {
+		b.OpBegin(trace.OpType(op))
+		b.Instr(0x400000)
+		for i := 0; i < 4; i++ {
+			b.Data(uint64(0x500000+i*64), false)
+		}
+		b.OpEnd(trace.OpType(op))
+	}
+	b.TxnEnd()
+
+	cfg := DefaultConfig(sim.Shallow())
+	cfg.HTMSPECReadSetLines = 2
+	cfg.HTMSPECMaxAborts = 2
+	res, err := Run(HTMSPEC, htmSet(b.Take()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.SpecStats{CapacityAborts: 2, Fallbacks: 1}
+	if res.Spec != want {
+		t.Errorf("Spec = %+v, want %+v", res.Spec, want)
+	}
+}

@@ -113,7 +113,7 @@ func TestMechanismsShareSameWork(t *testing.T) {
 	// properties ... it does not change what a transaction executes").
 	set, _, cfg := testSetup(t, 24)
 	var wantInstr, wantReads, wantWrites uint64
-	for i, mech := range Mechanisms {
+	for i, mech := range AllMechanisms {
 		res, err := Run(mech, set, cfg)
 		if err != nil {
 			t.Fatal(err)

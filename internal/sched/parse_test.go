@@ -1,0 +1,54 @@
+package sched
+
+import "testing"
+
+func TestParseMechanism(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mechanism
+	}{
+		{"Baseline", Baseline},
+		{"baseline", Baseline},
+		{"STREX", STREX},
+		{"slicc", SLICC},
+		{"addict", ADDICT},
+		{"HtmSpec", HTMSPEC},
+		{"chain", CHAIN},
+	} {
+		got, err := ParseMechanism(tc.in)
+		if err != nil {
+			t.Errorf("ParseMechanism(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseMechanism(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParseMechanismErrorText pins the unknown-name error texts: a typo
+// within edit distance gets a did-you-mean suggestion; an unrecognizable
+// name gets the bare list.
+func TestParseMechanismErrorText(t *testing.T) {
+	const have = "have Baseline, STREX, SLICC, ADDICT, HTMSPEC, CHAIN"
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"ADICT", `sched: unknown mechanism "ADICT" (did you mean "ADDICT"? ` + have + `)`},
+		{"htmspc", `sched: unknown mechanism "htmspc" (did you mean "HTMSPEC"? ` + have + `)`},
+		{"Chian", `sched: unknown mechanism "Chian" (did you mean "CHAIN"? ` + have + `)`},
+		{"SLIC", `sched: unknown mechanism "SLIC" (did you mean "SLICC"? ` + have + `)`},
+		{"Bogus", `sched: unknown mechanism "Bogus" (` + have + `)`},
+		{"", `sched: unknown mechanism "" (` + have + `)`},
+	} {
+		_, err := ParseMechanism(tc.in)
+		if err == nil {
+			t.Errorf("ParseMechanism(%q) unexpectedly succeeded", tc.in)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("ParseMechanism(%q) error:\n got %s\nwant %s", tc.in, err.Error(), tc.want)
+		}
+	}
+}

@@ -11,16 +11,28 @@ import (
 // Mechanism names a scheduling mechanism.
 type Mechanism string
 
-// The evaluated mechanisms.
+// The evaluated mechanisms. Baseline, STREX, SLICC, and ADDICT are the
+// paper's four; HTMSPEC and CHAIN are the related-work extensions (see
+// doc.go for provenance).
 const (
 	Baseline Mechanism = "Baseline"
 	STREX    Mechanism = "STREX"
 	SLICC    Mechanism = "SLICC"
 	ADDICT   Mechanism = "ADDICT"
+	HTMSPEC  Mechanism = "HTMSPEC"
+	CHAIN    Mechanism = "CHAIN"
 )
 
-// Mechanisms lists all four in the paper's presentation order.
+// Mechanisms lists the paper's four mechanisms in its presentation order.
+// The figure experiments (5-9) and Engine.ScheduleAll compare exactly this
+// set, reproducing the paper's evaluation axis.
 var Mechanisms = []Mechanism{Baseline, STREX, SLICC, ADDICT}
+
+// AllMechanisms lists every implemented mechanism family: the paper's four
+// plus the related-work extensions. Name-resolving entry points
+// (ParseMechanism, sweep grids, the serving API, the bench harness's extra
+// cells, and the synthchar characterization) span this set.
+var AllMechanisms = []Mechanism{Baseline, STREX, SLICC, ADDICT, HTMSPEC, CHAIN}
 
 // Config parameterizes a scheduling run.
 type Config struct {
@@ -50,6 +62,23 @@ type Config struct {
 	// migrations of the same thread.
 	SLICCCooldown int
 
+	// HTMSPECReadSetLines and HTMSPECWriteSetLines bound HTMSPEC's
+	// per-thread speculative read/write sets (in 64-byte cache lines); an
+	// operation window touching more distinct lines than either cap takes
+	// a capacity abort.
+	HTMSPECReadSetLines  int
+	HTMSPECWriteSetLines int
+	// HTMSPECMaxAborts is the number of aborts a thread tolerates before
+	// it permanently falls back to the non-speculative Baseline path
+	// (the standard bounded-retry HTM fallback policy).
+	HTMSPECMaxAborts int
+
+	// CHAINMinOpEvents is the minimum remaining length (in trace events)
+	// of an operation window for CHAIN to chase it to the operation's
+	// home core; shorter windows run in place because the migration cost
+	// would outweigh the instruction-locality gain.
+	CHAINMinOpEvents int
+
 	// DisableReplication strips ADDICT's surplus-core replicas and dynamic
 	// stealing, leaving exactly one core per migration point — the
 	// load-balancing ablation of Section 3.2.3's "fewer migration points
@@ -72,6 +101,10 @@ func DefaultConfig(machine sim.Config) Config {
 		SLICCWindow:            32,
 		SLICCMissThreshold:     16,
 		SLICCCooldown:          128,
+		HTMSPECReadSetLines:    64,
+		HTMSPECWriteSetLines:   32,
+		HTMSPECMaxAborts:       4,
+		CHAINMinOpEvents:       24,
 	}
 }
 
@@ -141,8 +174,28 @@ func newRun(mech Mechanism, s *trace.Set, cfg Config) (*sim.Executor, error) {
 		applyBatches(ex, ordered, cfg.batchSize())
 		hooks.bind(ex)
 		return ex, nil
+	case HTMSPEC:
+		ordered := batchByType(s.Traces, cfg.batchSize())
+		hooks := newHTMSpecHooks(cfg)
+		ex := sim.NewExecutor(m, hooks, ordered)
+		// Concurrency bounded by the core queues (like STREX): HTMSPEC is
+		// Baseline plus speculation, so it runs at Baseline's width and
+		// pays only for aborts.
+		ex.AdmitLimit = admit(0)
+		applyBatches(ex, ordered, cfg.batchSize())
+		hooks.bind(ex)
+		return ex, nil
+	case CHAIN:
+		ordered := batchByType(s.Traces, cfg.batchSize())
+		hooks := newChainHooks(cfg, ordered)
+		ex := sim.NewExecutor(m, hooks, ordered)
+		ex.AdmitLimit = admit(cfg.batchSize())
+		ex.BatchBarrier = cfg.BatchBarrier
+		applyBatches(ex, ordered, cfg.batchSize())
+		hooks.bind(ex)
+		return ex, nil
 	default:
-		return nil, fmt.Errorf("sched: unknown mechanism %q", mech)
+		return nil, unknownMechanism(string(mech))
 	}
 }
 

@@ -79,7 +79,7 @@ func TestAllMechanismsExecuteEverything(t *testing.T) {
 	for _, tr := range set.Traces {
 		wantInstr += tr.Instructions()
 	}
-	for _, mech := range Mechanisms {
+	for _, mech := range AllMechanisms {
 		res, err := Run(mech, set, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", mech, err)
@@ -175,7 +175,7 @@ func TestUnknownMechanism(t *testing.T) {
 
 func TestRunDeterminism(t *testing.T) {
 	set, _, cfg := testSetup(t, 32)
-	for _, mech := range Mechanisms {
+	for _, mech := range AllMechanisms {
 		r1, err := Run(mech, set, cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -132,6 +132,29 @@ type Result struct {
 	OverheadCycles uint64
 	// CoreActive[c] is the busy-cycle count of core c (power model input).
 	CoreActive []uint64
+	// Spec carries the speculation counters of HTM-style mechanisms
+	// (all-zero for non-speculative ones).
+	Spec SpecStats
+}
+
+// SpecStats aggregates the abort/fallback counters of a speculative
+// (HTM-style) mechanism run.
+type SpecStats struct {
+	// CapacityAborts counts regions aborted because a read or write set
+	// overflowed its bound.
+	CapacityAborts uint64
+	// ConflictAborts counts regions aborted on a conflicting line (written
+	// by another thread since the region began).
+	ConflictAborts uint64
+	// Fallbacks counts threads that exhausted their abort budget and fell
+	// back to non-speculative execution for the rest of the run.
+	Fallbacks uint64
+}
+
+// SpecReporter is implemented by hooks of speculative mechanisms; the
+// executor collects the counters into Result.Spec at the end of a run.
+type SpecReporter interface {
+	SpecStats() SpecStats
 }
 
 // AvgLatency returns the mean transaction latency.
@@ -303,6 +326,9 @@ func (ex *Executor) Run() Result {
 	res.CoreActive = make([]uint64, len(ex.cores))
 	for i := range ex.cores {
 		res.CoreActive[i] = ex.cores[i].active
+	}
+	if r, ok := ex.hooks.(SpecReporter); ok {
+		res.Spec = r.SpecStats()
 	}
 	return res
 }

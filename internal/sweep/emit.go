@@ -85,7 +85,9 @@ func newRow(u Unit, m Metrics) row {
 // no quoting is needed and the output is byte-stable.
 type csvEmitter struct{ out io.Writer }
 
-// csvHeader is the fixed column order.
+// csvHeader is the fixed column order. The speculation counters are not
+// CSV columns: they are zero for all but HTMSPEC, and adding columns would
+// break the byte-stable header; the JSONL emitter carries them (omitempty).
 var csvHeader = []string{
 	"id", "workload", "mechanism", "cores", "hierarchy",
 	"l1i_bytes", "l1i_ways", "llc_bytes", "llc_ways",

@@ -45,6 +45,11 @@ type Metrics struct {
 	SwitchesPerKI float64 `json:"switches_per_ki"`
 	// OverheadShare is migration/switch cycles over busy cycles.
 	OverheadShare float64 `json:"overhead_share"`
+	// Speculation counters (HTMSPEC); zero — and omitted from JSON — for
+	// the non-speculative mechanisms, so pre-existing rows are unchanged.
+	CapacityAborts uint64 `json:"capacity_aborts,omitempty"`
+	ConflictAborts uint64 `json:"conflict_aborts,omitempty"`
+	SpecFallbacks  uint64 `json:"spec_fallbacks,omitempty"`
 }
 
 // Measure reduces a simulation result to the sweep metrics.
@@ -55,15 +60,18 @@ func Measure(r sim.Result) Metrics {
 		ipc = float64(m.Instructions) / float64(r.Makespan)
 	}
 	return Metrics{
-		Makespan:      r.Makespan,
-		AvgLatency:    r.AvgLatency(),
-		Instructions:  m.Instructions,
-		IPC:           ipc,
-		L1IMPKI:       m.MPKI(m.L1IMisses),
-		L1DMPKI:       m.MPKI(m.L1DMisses),
-		LLCMPKI:       m.MPKI(m.SharedMisses),
-		SwitchesPerKI: r.SwitchesPerKInstr(),
-		OverheadShare: r.OverheadShare(),
+		Makespan:       r.Makespan,
+		AvgLatency:     r.AvgLatency(),
+		Instructions:   m.Instructions,
+		IPC:            ipc,
+		L1IMPKI:        m.MPKI(m.L1IMisses),
+		L1DMPKI:        m.MPKI(m.L1DMisses),
+		LLCMPKI:        m.MPKI(m.SharedMisses),
+		SwitchesPerKI:  r.SwitchesPerKInstr(),
+		OverheadShare:  r.OverheadShare(),
+		CapacityAborts: r.Spec.CapacityAborts,
+		ConflictAborts: r.Spec.ConflictAborts,
+		SpecFallbacks:  r.Spec.Fallbacks,
 	}
 }
 

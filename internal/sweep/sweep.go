@@ -29,7 +29,7 @@ import (
 // Spec is a declarative sweep grid. The axis fields each list the values
 // one parameter takes; the expansion is their cartesian product. An empty
 // axis means "the base value" (a single point): empty Workloads selects the
-// paper's three benchmarks, empty Mechanisms all four mechanisms, empty
+// paper's three benchmarks, empty Mechanisms the paper's four, empty
 // machine axes the base machine's Table-1 values, empty Threads/AdmitLimits
 // the mechanism defaults. The struct is JSON-serializable for spec files
 // (cmd/addict-sweep -spec).
@@ -66,8 +66,9 @@ type Spec struct {
 	// SynthHotKeys sweeps the hot-set size (selects the hotset
 	// distribution), each value >= 1.
 	SynthHotKeys []int `json:"synth_hot_keys,omitempty"`
-	// Mechanisms lists scheduling mechanisms ("Baseline", "STREX",
-	// "SLICC", "ADDICT").
+	// Mechanisms lists scheduling mechanisms by name, resolved through
+	// sched.ParseMechanism — any of sched.AllMechanisms ("Baseline",
+	// "STREX", "SLICC", "ADDICT", "HTMSPEC", "CHAIN"), case-insensitive.
 	Mechanisms []string `json:"mechanisms,omitempty"`
 
 	// Machine axes (see sim.Overrides for the derived-field rules).
@@ -379,12 +380,12 @@ func (s Spec) ExpandOn(base sim.Config) ([]Unit, error) {
 	return units, nil
 }
 
-// mechanismByName resolves a mechanism axis value.
+// mechanismByName resolves a mechanism axis value across every
+// implemented family, with sched's nearest-name suggestion on a typo.
 func mechanismByName(name string) (sched.Mechanism, error) {
-	for _, m := range sched.Mechanisms {
-		if strings.EqualFold(name, string(m)) {
-			return m, nil
-		}
+	m, err := sched.ParseMechanism(name)
+	if err != nil {
+		return "", fmt.Errorf("sweep: %w", err)
 	}
-	return "", fmt.Errorf("sweep: unknown mechanism %q (want Baseline, STREX, SLICC, or ADDICT)", name)
+	return m, nil
 }
