@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"addict"
+	"addict/internal/pool"
 )
 
 // BusyError reports a 429 from the admission limiter: the server is at its
@@ -93,6 +94,11 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
+// BaseURL returns the server base URL the client was built with (trailing
+// slashes trimmed) — useful for handing raw endpoints like /metrics to
+// tools that speak plain HTTP.
+func (c *Client) BaseURL() string { return c.base }
+
 func trimSlash(s string) string {
 	for len(s) > 0 && s[len(s)-1] == '/' {
 		s = s[:len(s)-1]
@@ -100,15 +106,16 @@ func trimSlash(s string) string {
 	return s
 }
 
-// do sends one request, retrying transport failures with exponential
-// backoff. Bodies are byte slices, so every attempt replays the same
+// do sends one request, retrying transport failures on the shared
+// pool.Backoff schedule (the same one the distributed workers use, capped
+// at 5s). Bodies are byte slices, so every attempt replays the same
 // bytes. The response is returned undrained; callers own Body.Close.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(c.backoff << (attempt - 1)):
+			case <-time.After(pool.Backoff(attempt, c.backoff, 5*time.Second)):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -284,14 +291,37 @@ type SweepRow struct {
 	addict.SweepMetrics
 }
 
+// DistRequest asks the server to execute a sweep distributed: the serving
+// process coordinates, contributes LocalWorkers in-process workers
+// (server-defaulted to 1 when 0), and listens for remote addict-sweep
+// -join workers on Listen (server-chosen loopback port when empty). The
+// streamed rows are byte-identical to the same spec swept serially.
+type DistRequest struct {
+	Listen       string `json:"listen,omitempty"`
+	LocalWorkers int    `json:"local_workers,omitempty"`
+}
+
 // Sweep executes a declarative grid on the server and streams each unit's
 // row to fn in grid-expansion order, returning the row count. Identical
 // concurrent sweep requests coalesce server-side into one computation. A
 // non-nil error from fn stops the stream and is returned.
 func (c *Client) Sweep(ctx context.Context, spec addict.SweepSpec, fn func(SweepRow) error) (int, error) {
+	return c.sweep(ctx, spec, nil, fn)
+}
+
+// SweepDistributed is Sweep executed by the server's distributed mode (see
+// DistRequest). Because the merged output is byte-identical to a serial
+// sweep of the same spec, the server caches both under one key — a grid
+// already swept serially streams back without coordinating anything.
+func (c *Client) SweepDistributed(ctx context.Context, spec addict.SweepSpec, dist DistRequest, fn func(SweepRow) error) (int, error) {
+	return c.sweep(ctx, spec, &dist, fn)
+}
+
+func (c *Client) sweep(ctx context.Context, spec addict.SweepSpec, dist *DistRequest, fn func(SweepRow) error) (int, error) {
 	body, err := json.Marshal(struct {
 		Spec addict.SweepSpec `json:"spec"`
-	}{spec})
+		Dist *DistRequest     `json:"dist,omitempty"`
+	}{spec, dist})
 	if err != nil {
 		return 0, err
 	}
@@ -421,9 +451,39 @@ type StoreCounters struct {
 	Bytes          int64  `json:"bytes"`
 }
 
+// DistWorkerCounters is one worker's slice of the server's most recent
+// distributed sweep: units leased/completed, leases lost to its crashes
+// (requeued), compute failures it reported, discarded duplicate results,
+// and its self-reported artifact-store counters.
+type DistWorkerCounters struct {
+	Name       string         `json:"name,omitempty"`
+	Leased     uint64         `json:"leased"`
+	Completed  uint64         `json:"completed"`
+	Requeued   uint64         `json:"requeued"`
+	Failed     uint64         `json:"failed"`
+	Duplicates uint64         `json:"duplicates"`
+	Store      *StoreCounters `json:"store,omitempty"`
+}
+
+// DistCounters mirrors the coordinator summary of the server's most
+// recent distributed sweep (addict.DistSummary on the wire).
+type DistCounters struct {
+	Units      int                           `json:"units"`
+	Completed  int                           `json:"completed"`
+	Leases     uint64                        `json:"leases"`
+	Requeues   uint64                        `json:"requeues"`
+	Failures   uint64                        `json:"failures"`
+	Duplicates uint64                        `json:"duplicates"`
+	Stragglers uint64                        `json:"straggler_redispatches"`
+	Workers    map[string]DistWorkerCounters `json:"workers"`
+	Done       bool                          `json:"done"`
+	Abort      string                        `json:"abort,omitempty"`
+}
+
 // ServerMetrics is the /debug/vars snapshot: per-endpoint request and
 // computation counters, coalescing and admission counters, and the engine
-// and response cache statistics.
+// and response cache statistics. Dist is the most recent distributed
+// sweep's coordinator summary; nil when none has run.
 type ServerMetrics struct {
 	Requests      map[string]int64 `json:"requests"`
 	Computations  map[string]int64 `json:"computations"`
@@ -434,6 +494,7 @@ type ServerMetrics struct {
 	EngineCache   CacheCounters    `json:"engine_cache"`
 	ResponseCache CacheCounters    `json:"response_cache"`
 	ArtifactStore *StoreCounters   `json:"artifact_store,omitempty"`
+	Dist          *DistCounters    `json:"dist,omitempty"`
 }
 
 // Metrics fetches the server's expvar snapshot.

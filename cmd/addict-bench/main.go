@@ -30,8 +30,11 @@
 // the same run's Baseline-mechanism cell on the same workload, so the
 // runner's absolute speed cancels out — and fails on the worst cell;
 // -max-regress bounds the events-weighted aggregate speedup (machine-
-// dependent; kept as a secondary signal). The per-cell verdict table goes
-// to stderr, into the JSON report, and to the -verdict file when given.
+// dependent; kept as a secondary signal); -max-alloc-regress bounds every
+// cell's allocs/event and bytes/event growth over the baseline (allocation
+// counts are machine-independent without any normalization). The per-cell
+// verdict table goes to stderr, into the JSON report, and to the -verdict
+// file when given.
 //
 // Ctrl-C cancels either mode between work items: the full report flushes
 // the sections already rendered as a clean partial report, the harness
@@ -53,20 +56,21 @@ import (
 
 func main() {
 	var (
-		expID          = flag.String("exp", "", "single experiment id (default: run everything)")
-		quick          = flag.Bool("quick", false, "reduced trace counts and database scale")
-		traces         = flag.Int("traces", 0, "override profiling/evaluation trace counts")
-		scale          = flag.Float64("scale", 0, "override database scale factor")
-		seed           = flag.Int64("seed", 0, "override workload seed")
-		parallel       = flag.Int("parallel", 0, "worker-pool size for the full report (<1 = all CPUs, 1 = serial; output is identical)")
-		list           = flag.Bool("list", false, "list experiment ids and exit")
-		jsonOut        = flag.String("json", "", "run the replay benchmark harness and write the JSON report to this file (- = stdout)")
-		baseline       = flag.String("baseline", "", "previous BENCH_*.json (or bare report) to embed and compute the speedups against (with -json)")
-		maxRegress     = flag.Float64("max-regress", 0, "fail when aggregate events/sec drops more than this fraction below the baseline (machine-dependent secondary check; requires -json and -baseline; 0 disables)")
-		maxCellRegress = flag.Float64("max-cell-regress", 0, "fail when any (workload x mechanism) cell's Baseline-normalized ratio drops more than this fraction below the baseline's (machine-independent; fails on the worst cell; requires -json and -baseline; 0 disables) — the CI bench-regression gate")
-		verdictOut     = flag.String("verdict", "", "also write the per-cell gate verdict table to this file (with a gate flag)")
-		storeDir       = flag.String("store", "", "on-disk artifact store directory (empty = memory-only); repeated runs warm-start generation and profiling from it (measured replay cells are never persisted results)")
-		storeBudget    = flag.Int64("store-budget", 0, "on-disk store size budget in bytes (<=0 = unbounded)")
+		expID           = flag.String("exp", "", "single experiment id (default: run everything)")
+		quick           = flag.Bool("quick", false, "reduced trace counts and database scale")
+		traces          = flag.Int("traces", 0, "override profiling/evaluation trace counts")
+		scale           = flag.Float64("scale", 0, "override database scale factor")
+		seed            = flag.Int64("seed", 0, "override workload seed")
+		parallel        = flag.Int("parallel", 0, "worker-pool size for the full report (<1 = all CPUs, 1 = serial; output is identical)")
+		list            = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut         = flag.String("json", "", "run the replay benchmark harness and write the JSON report to this file (- = stdout)")
+		baseline        = flag.String("baseline", "", "previous BENCH_*.json (or bare report) to embed and compute the speedups against (with -json)")
+		maxRegress      = flag.Float64("max-regress", 0, "fail when aggregate events/sec drops more than this fraction below the baseline (machine-dependent secondary check; requires -json and -baseline; 0 disables)")
+		maxCellRegress  = flag.Float64("max-cell-regress", 0, "fail when any (workload x mechanism) cell's Baseline-normalized ratio drops more than this fraction below the baseline's (machine-independent; fails on the worst cell; requires -json and -baseline; 0 disables) — the CI bench-regression gate")
+		maxAllocRegress = flag.Float64("max-alloc-regress", 0, "fail when any cell's allocs/event or bytes/event grow more than this fraction above the baseline (plus a small additive slack; machine-independent; requires -json and -baseline; 0 disables)")
+		verdictOut      = flag.String("verdict", "", "also write the per-cell gate verdict table to this file (with a gate flag)")
+		storeDir        = flag.String("store", "", "on-disk artifact store directory (empty = memory-only); repeated runs warm-start generation and profiling from it (measured replay cells are never persisted results)")
+		storeBudget     = flag.Int64("store-budget", 0, "on-disk store size budget in bytes (<=0 = unbounded)")
 	)
 	flag.Parse()
 	// The flag default 0 doubles as "not provided" for -seed and -scale,
@@ -92,18 +96,19 @@ func main() {
 
 	if *jsonOut != "" {
 		h := harnessFlags{
-			jsonOut:        *jsonOut,
-			baselinePath:   *baseline,
-			maxRegress:     *maxRegress,
-			maxCellRegress: *maxCellRegress,
-			verdictOut:     *verdictOut,
-			traces:         *traces,
-			scale:          *scale,
-			scaleSet:       scaleSet,
-			seed:           *seed,
-			seedSet:        seedSet,
-			storeDir:       *storeDir,
-			storeBudget:    *storeBudget,
+			jsonOut:         *jsonOut,
+			baselinePath:    *baseline,
+			maxRegress:      *maxRegress,
+			maxCellRegress:  *maxCellRegress,
+			maxAllocRegress: *maxAllocRegress,
+			verdictOut:      *verdictOut,
+			traces:          *traces,
+			scale:           *scale,
+			scaleSet:        scaleSet,
+			seed:            *seed,
+			seedSet:         seedSet,
+			storeDir:        *storeDir,
+			storeBudget:     *storeBudget,
 		}
 		if err := runBenchHarness(ctx, h); err != nil {
 			if ctx.Err() != nil {
@@ -114,8 +119,8 @@ func main() {
 		}
 		return
 	}
-	if *maxRegress != 0 || *maxCellRegress != 0 {
-		fmt.Fprintln(os.Stderr, "addict-bench: -max-regress/-max-cell-regress require -json and -baseline")
+	if *maxRegress != 0 || *maxCellRegress != 0 || *maxAllocRegress != 0 {
+		fmt.Fprintln(os.Stderr, "addict-bench: -max-regress/-max-cell-regress/-max-alloc-regress require -json and -baseline")
 		os.Exit(2)
 	}
 
@@ -180,18 +185,19 @@ func main() {
 
 // harnessFlags carries the resolved -json mode flags.
 type harnessFlags struct {
-	jsonOut        string
-	baselinePath   string
-	maxRegress     float64
-	maxCellRegress float64
-	verdictOut     string
-	traces         int
-	scale          float64
-	scaleSet       bool
-	seed           int64
-	seedSet        bool
-	storeDir       string
-	storeBudget    int64
+	jsonOut         string
+	baselinePath    string
+	maxRegress      float64
+	maxCellRegress  float64
+	maxAllocRegress float64
+	verdictOut      string
+	traces          int
+	scale           float64
+	scaleSet        bool
+	seed            int64
+	seedSet         bool
+	storeDir        string
+	storeBudget     int64
 }
 
 // runBenchHarness runs the internal/bench replay harness and writes the
@@ -202,15 +208,18 @@ type harnessFlags struct {
 // events/sec speedup. An incomparable baseline — different configuration,
 // measurement bounds, or cell set — is refused rather than judged.
 func runBenchHarness(ctx context.Context, h harnessFlags) error {
-	gating := h.maxRegress != 0 || h.maxCellRegress != 0
+	gating := h.maxRegress != 0 || h.maxCellRegress != 0 || h.maxAllocRegress != 0
 	if h.maxRegress < 0 || h.maxRegress >= 1 {
 		return fmt.Errorf("-max-regress %v outside [0, 1)", h.maxRegress)
 	}
 	if h.maxCellRegress < 0 || h.maxCellRegress >= 1 {
 		return fmt.Errorf("-max-cell-regress %v outside [0, 1)", h.maxCellRegress)
 	}
+	if h.maxAllocRegress < 0 {
+		return fmt.Errorf("-max-alloc-regress %v negative", h.maxAllocRegress)
+	}
 	if gating && h.baselinePath == "" {
-		return fmt.Errorf("-max-regress/-max-cell-regress require -baseline")
+		return fmt.Errorf("-max-regress/-max-cell-regress/-max-alloc-regress require -baseline")
 	}
 	if h.verdictOut != "" && !gating {
 		return fmt.Errorf("-verdict requires a gate flag (-max-cell-regress or -max-regress)")
@@ -265,8 +274,9 @@ func runBenchHarness(ctx context.Context, h harnessFlags) error {
 	)
 	if gating {
 		file, verdict, err = eng.GateBench(ctx, cfg, base, addict.BenchGateConfig{
-			MaxCellRegress: h.maxCellRegress,
-			MaxRegress:     h.maxRegress,
+			MaxCellRegress:  h.maxCellRegress,
+			MaxRegress:      h.maxRegress,
+			MaxAllocRegress: h.maxAllocRegress,
 		})
 		if err != nil {
 			return fmt.Errorf("gate vs %s: %w", h.baselinePath, err)

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics renders the server's expvar counters in the Prometheus
+// text exposition format (version 0.0.4), so the same numbers /debug/vars
+// serves as JSON can be scraped without an adapter. The mapping is
+// mechanical and deterministic:
+//
+//   - an *expvar.Int becomes addict_serve_<name>
+//   - an *expvar.Map becomes addict_serve_<name>_total{key="<k>"} per entry
+//   - an expvar.Func's JSON value is flattened depth-first: every numeric
+//     leaf becomes addict_serve_<name>_<path> with underscore-joined path
+//     segments (non-numeric leaves are skipped), nested maps sorted by key
+//
+// Everything is exported as an untyped metric: some of these are counters
+// and some are gauges, and claiming one type for a flattened JSON tree
+// would be wrong somewhere.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	type kv struct {
+		key string
+		v   expvar.Var
+	}
+	var vars []kv
+	s.vars.Do(func(e expvar.KeyValue) { vars = append(vars, kv{e.Key, e.Value}) })
+	sort.Slice(vars, func(i, j int) bool { return vars[i].key < vars[j].key })
+
+	for _, e := range vars {
+		name := "addict_serve_" + sanitizeMetric(e.key)
+		switch v := e.v.(type) {
+		case *expvar.Int:
+			fmt.Fprintf(&b, "%s %d\n", name, v.Value())
+		case *expvar.Map:
+			var entries []expvar.KeyValue
+			v.Do(func(e expvar.KeyValue) { entries = append(entries, e) })
+			sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+			for _, ent := range entries {
+				fmt.Fprintf(&b, "%s_total{key=%q} %s\n", name, ent.Key, ent.Value.String())
+			}
+		case expvar.Func:
+			// Round-trip through JSON: the Func values here are stats
+			// structs whose wire form is their contract.
+			data, err := json.Marshal(v.Value())
+			if err != nil {
+				continue
+			}
+			var tree any
+			if err := json.Unmarshal(data, &tree); err != nil {
+				continue
+			}
+			flattenMetric(&b, name, tree)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// flattenMetric emits every numeric leaf of a decoded JSON tree as one
+// metric line, joining object keys into the metric name and sorting each
+// level so the exposition is byte-stable.
+func flattenMetric(b *strings.Builder, name string, v any) {
+	switch x := v.(type) {
+	case float64:
+		// %v prints integral float64s without an exponent or trailing
+		// zeros, which is valid Prometheus for counters and gauges alike.
+		fmt.Fprintf(b, "%s %v\n", name, x)
+	case bool:
+		n := 0
+		if x {
+			n = 1
+		}
+		fmt.Fprintf(b, "%s %d\n", name, n)
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flattenMetric(b, name+"_"+sanitizeMetric(k), x[k])
+		}
+	}
+	// Strings, arrays, and nulls have no numeric reading — skipped.
+}
+
+// sanitizeMetric maps an arbitrary key into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_].
+func sanitizeMetric(s string) string {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && len(out) > 0:
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"addict"
@@ -63,6 +64,12 @@ type server struct {
 	rejected      *expvar.Int // requests refused by the admission limiter
 	activeRuns    *expvar.Int // computations currently holding a slot
 	runsCancelled *expvar.Int // requests that ended with a cancelled context
+
+	// lastDist holds the most recent distributed sweep's coordinator
+	// summary (*addict.DistSummary): per-worker units leased / completed /
+	// requeued and store counters, exposed under "dist" in /debug/vars and
+	// flattened into /metrics.
+	lastDist atomic.Value
 }
 
 // newServer assembles the serving state. maxRuns bounds concurrently
@@ -97,6 +104,7 @@ func newServer(eng *addict.Engine, maxRuns int, retryAfter time.Duration, respBu
 	s.vars.Set("engine_cache", expvar.Func(func() any { return eng.CacheStats() }))
 	s.vars.Set("response_cache", expvar.Func(func() any { return s.resp.Stats() }))
 	s.vars.Set("artifact_store", expvar.Func(func() any { return eng.CacheStats().Store }))
+	s.vars.Set("dist", expvar.Func(func() any { return s.lastDist.Load() }))
 	return s
 }
 
@@ -110,6 +118,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/bench", s.handleBench)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -311,9 +320,19 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		})
 }
 
+// distWire is the optional distributed-execution block of a sweep
+// request: spin a coordinator inside the serving process, contribute
+// LocalWorkers in-process workers, and let remote addict-sweep -join
+// processes share the grid through the listen address.
+type distWire struct {
+	Listen       string `json:"listen,omitempty"`
+	LocalWorkers int    `json:"local_workers,omitempty"`
+}
+
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Spec addict.SweepSpec `json:"spec"`
+		Dist *distWire        `json:"dist,omitempty"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
 		s.reqs.Add("sweep", 1)
@@ -326,7 +345,11 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The decoded spec re-marshals with a fixed field order, so every
-	// spelling of one grid lands on one cache key.
+	// spelling of one grid lands on one cache key. The dist block is
+	// deliberately NOT part of the key: a distributed run's merged output
+	// is byte-identical to the single-process run of the same spec, so
+	// serial and distributed requests for one grid share one cache cell
+	// (and a cached grid is never re-coordinated).
 	canon, err := json.Marshal(req.Spec)
 	if err != nil {
 		s.reqs.Add("sweep", 1)
@@ -339,6 +362,23 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			// concurrent sweeps coalesce and repeats free. Cancellation
 			// still propagates — the engine stops between units.
 			var buf bytes.Buffer
+			if req.Dist != nil {
+				cfg := addict.DistConfig{
+					Listen:       req.Dist.Listen,
+					LocalWorkers: req.Dist.LocalWorkers,
+				}
+				if cfg.LocalWorkers <= 0 {
+					// At least one in-process worker, so a request whose
+					// remote workers never join cannot wedge the grid.
+					cfg.LocalWorkers = 1
+				}
+				sum, err := s.eng.SweepDistributed(ctx, &buf, req.Spec, "jsonl", cfg)
+				s.lastDist.Store(&sum)
+				if err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			}
 			if err := s.eng.Sweep(ctx, &buf, req.Spec, "jsonl"); err != nil {
 				return nil, err
 			}

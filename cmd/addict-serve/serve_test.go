@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"os/exec"
@@ -351,5 +354,116 @@ func TestInterruptExitsPromptly(t *testing.T) {
 	}
 	if elapsed > 2*time.Second {
 		t.Errorf("server took %v to exit after SIGINT, want <= 2s", elapsed)
+	}
+}
+
+// TestSweepDistributedMode: a sweep request carrying a dist block runs
+// through the in-process coordinator + local workers and streams the same
+// rows, in the same order, as the serial engine — and the coordinator's
+// per-worker summary lands in /debug/vars under "dist".
+func TestSweepDistributedMode(t *testing.T) {
+	s, c := newTestServer(t, 0)
+	ctx := context.Background()
+	spec := addict.SweepSpec{
+		Workloads:  []string{"synth:uniform-ro"},
+		Mechanisms: []string{"Baseline", "ADDICT"},
+	}
+	var want bytes.Buffer
+	if err := s.eng.Sweep(ctx, &want, spec, "jsonl"); err != nil {
+		t.Fatal(err)
+	}
+
+	var rows []client.SweepRow
+	n, err := c.SweepDistributed(ctx, spec, client.DistRequest{LocalWorkers: 2},
+		func(r client.SweepRow) error { rows = append(rows, r); return nil })
+	if err != nil {
+		t.Fatalf("SweepDistributed: %v", err)
+	}
+	if n != 2 || rows[0].Mechanism != "Baseline" || rows[1].Mechanism != "ADDICT" {
+		t.Fatalf("distributed stream wrong: n=%d rows=%+v", n, rows)
+	}
+
+	// The response cache now holds the distributed run's bytes under the
+	// spec-only key; a plain serial request must hit that cell and return
+	// bytes identical to the serial engine's own output.
+	body, _ := json.Marshal(struct {
+		Spec addict.SweepSpec `json:"spec"`
+	}{spec})
+	resp, err := http.Post(c.BaseURL()+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("distributed bytes differ from serial engine output:\n got: %q\nwant: %q", got, want.Bytes())
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist == nil || !m.Dist.Done || m.Dist.Units != 2 {
+		t.Fatalf("dist summary not exposed in metrics: %+v", m.Dist)
+	}
+	if len(m.Dist.Workers) != 2 {
+		t.Errorf("want 2 workers in dist summary, got %+v", m.Dist.Workers)
+	}
+	if m.Computations["sweep"] != 1 {
+		t.Errorf("want 1 sweep computation (serial repeat cached), got %d", m.Computations["sweep"])
+	}
+}
+
+// TestMetricsEndpoint: /metrics re-renders the expvar counters as
+// Prometheus text exposition — deterministic, parseable lines covering
+// the scalar counters, the per-endpoint maps, and the flattened cache
+// stats.
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, 0)
+	ctx := context.Background()
+	if _, err := c.Profile(ctx, "synth:uniform-ro"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(c.BaseURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"addict_serve_requests_total{key=\"profile\"} 1\n",
+		"addict_serve_computations_total{key=\"profile\"} 1\n",
+		"addict_serve_rejected 0\n",
+		"addict_serve_active_runs 0\n",
+		"addict_serve_engine_cache_hits ",
+		"addict_serve_response_cache_entries 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n--- exposition ---\n%s", want, text)
+		}
+	}
+	// Two scrapes of an idle server are byte-identical (sorted maps, no
+	// timestamps) — the determinism the rest of the repo holds everywhere.
+	resp2, err := http.Get(c.BaseURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("two idle /metrics scrapes differ; exposition is not deterministic")
 	}
 }

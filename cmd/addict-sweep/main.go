@@ -12,6 +12,21 @@
 //	addict-sweep -spec sweep.json -format jsonl -parallel 8
 //	addict-sweep -axes      # list grid axis names
 //
+// Distributed mode splits one grid across processes rendezvousing on a
+// shared artifact store. The coordinator owns the grid and the merged
+// output (byte-identical to a single-process run); workers join it by URL
+// and compute leased units:
+//
+//	addict-sweep -grid '...' -serve-workers :8391 -store /shared/store -format jsonl
+//	addict-sweep -join http://coordinator:8391 -store /shared/store   # on each worker machine
+//
+// The coordinator requeues units whose workers crash (lease timeout) and
+// re-dispatches stragglers near the tail, so losing workers costs wall
+// clock, never rows. -local-workers controls how many workers the
+// coordinator process itself contributes (default 1; 0 waits entirely for
+// remote joiners), and -dist-summary writes the per-worker counters
+// (units leased/completed/requeued, store hits) as JSON after the run.
+//
 // The -grid flag is a compact spec: semicolon-separated axes, each
 // "name=v1,v2,...". Sizes take K/M suffixes. The -spec flag loads a full
 // sweep.Spec as JSON; -grid entries overlay it. Base parameters (seed,
@@ -69,6 +84,12 @@ func main() {
 
 		storeDir    = flag.String("store", "", "on-disk artifact store directory (empty = memory-only); repeated sweeps warm-start from it")
 		storeBudget = flag.Int64("store-budget", 0, "on-disk store size budget in bytes (<=0 = unbounded)")
+
+		serveWorkers = flag.String("serve-workers", "", "coordinate a distributed sweep: listen address for workers (e.g. :8391)")
+		localWorkers = flag.Int("local-workers", 1, "with -serve-workers: in-process workers the coordinator contributes (0 = remote only)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "with -serve-workers: crash-detection lease timeout (0 = default 60s)")
+		distSummary  = flag.String("dist-summary", "", "with -serve-workers: write per-worker counters as JSON to this file after the run")
+		joinURL      = flag.String("join", "", "work for the coordinator at this URL (grid/spec come from it; -store and -parallel apply)")
 	)
 	flag.Parse()
 
@@ -76,6 +97,14 @@ func main() {
 		for _, a := range axisHelp {
 			fmt.Printf("%-9s %s\n", a.name, a.desc)
 		}
+		return
+	}
+
+	if *joinURL != "" {
+		if *serveWorkers != "" {
+			fatal(fmt.Errorf("-join and -serve-workers are mutually exclusive"))
+		}
+		runWorker(*joinURL, *storeDir, *storeBudget, *parallel)
 		return
 	}
 
@@ -133,7 +162,27 @@ func main() {
 		fatal(err)
 	}
 	out := bufio.NewWriter(os.Stdout)
-	err := eng.Sweep(ctx, out, spec, *format)
+	var err error
+	if *serveWorkers != "" {
+		var sum addict.DistSummary
+		sum, err = eng.SweepDistributed(ctx, out, spec, *format, addict.DistConfig{
+			Listen:       *serveWorkers,
+			LocalWorkers: *localWorkers,
+			LeaseTimeout: *leaseTimeout,
+			OnListen: func(addr string) {
+				fmt.Fprintf(os.Stderr, "addict-sweep: coordinating on http://%s (join with: addict-sweep -join http://%s -store DIR)\n", addr, addr)
+			},
+		})
+		if *distSummary != "" {
+			// The summary is diagnostic and valid even after a failed run;
+			// a failed write must not mask the run's own error.
+			if werr := writeSummary(*distSummary, sum); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	} else {
+		err = eng.Sweep(ctx, out, spec, *format)
+	}
 	// A failed flush (full disk, closed pipe) must not exit 0 with a
 	// truncated sweep.
 	if ferr := out.Flush(); err == nil {
@@ -145,6 +194,38 @@ func main() {
 		}
 		fatal(err)
 	}
+}
+
+// runWorker joins a coordinator and computes leased units until the grid
+// is done. The grid comes from the coordinator; only execution-side flags
+// (-store, -store-budget, -parallel) apply here.
+func runWorker(url, storeDir string, storeBudget int64, parallel int) {
+	ctx, stop := sigctx.Context(time.Second)
+	defer stop()
+	host, _ := os.Hostname()
+	n, err := addict.JoinSweep(ctx, url, addict.DistWorkerOptions{
+		Name:        host,
+		StoreDir:    storeDir,
+		StoreBudget: storeBudget,
+		Workers:     parallel,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			sigctx.Exit("addict-sweep")
+		}
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "addict-sweep: worker done, %d units completed\n", n)
+}
+
+// writeSummary writes the coordinator's per-worker counters as indented
+// JSON (the CI dist-smoke artifact).
+func writeSummary(path string, sum addict.DistSummary) error {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -110,5 +115,111 @@ func TestInterruptExitsPromptly(t *testing.T) {
 	}
 	if elapsed > 2*time.Second {
 		t.Errorf("interrupted sweep took %v to exit, want <= 2s", elapsed)
+	}
+}
+
+// TestDistributedProcessesMatchSerial is the command-level acceptance run:
+// one coordinator process (-serve-workers, contributing no local workers)
+// plus two separate worker processes (-join) rendezvousing on one store
+// directory must produce stdout byte-identical to the same grid swept in
+// a single process, and the -dist-summary file must account every unit.
+func TestDistributedProcessesMatchSerial(t *testing.T) {
+	exe := cmdtest.Build(t)
+	gridArgs := []string{
+		"-grid", "workload=synth:uniform-ro,synth:hotset-write; mech=Baseline,ADDICT",
+		"-traces", "40", "-scale", "0.05", "-seed", "5", "-format", "jsonl",
+	}
+	serial, _ := cmdtest.Run(t, exe, gridArgs...)
+	if serial == "" {
+		t.Fatal("serial sweep produced no output")
+	}
+
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	summaryPath := filepath.Join(dir, "summary.json")
+	coord := exec.Command(exe, append(gridArgs,
+		"-serve-workers", "127.0.0.1:0", "-local-workers", "0",
+		"-store", store, "-dist-summary", summaryPath)...)
+	var coordOut bytes.Buffer
+	coord.Stdout = &coordOut
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// The coordinator announces its bound address on stderr before leasing
+	// anything; scrape the join URL from that line.
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "http://"); i >= 0 {
+				urlCh <- strings.Fields(line[i:])[0]
+				break
+			}
+		}
+		io.Copy(io.Discard, stderr)
+	}()
+	var joinURL string
+	select {
+	case joinURL = <-urlCh:
+	case <-time.After(20 * time.Second):
+		t.Fatal("coordinator never announced its address")
+	}
+
+	var wg sync.WaitGroup
+	workerErr := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := exec.Command(exe, "-join", joinURL, "-store", store, "-parallel", "2")
+			w.Stdout = io.Discard
+			w.Stderr = io.Discard
+			workerErr[i] = w.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i, werr := range workerErr {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if got := coordOut.String(); got != serial {
+		t.Errorf("distributed stdout differs from serial:\n got: %q\nwant: %q", got, serial)
+	}
+
+	data, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatalf("dist summary not written: %v", err)
+	}
+	var sum struct {
+		Units     int  `json:"units"`
+		Completed int  `json:"completed"`
+		Done      bool `json:"done"`
+		Workers   map[string]struct {
+			Completed uint64 `json:"completed"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("bad summary JSON: %v\n%s", err, data)
+	}
+	if !sum.Done || sum.Units != 4 || sum.Completed != 4 {
+		t.Errorf("summary = %+v, want 4/4 done", sum)
+	}
+	var total uint64
+	for _, w := range sum.Workers {
+		total += w.Completed
+	}
+	if total != 4 {
+		t.Errorf("worker completions sum to %d, want 4\n%s", total, data)
 	}
 }

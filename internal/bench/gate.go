@@ -38,7 +38,26 @@ type GateConfig struct {
 	// mechanism (which normalized ratios cannot see) only trips here.
 	// 0 disables it.
 	MaxRegress float64
+	// MaxAllocRegress is the per-cell growth budget on the allocation
+	// trajectory: a cell fails when its allocs/event exceed
+	// baseline*(1+MaxAllocRegress)+0.5 or its bytes/event exceed
+	// baseline*(1+MaxAllocRegress)+64. Allocation counts come from the Go
+	// allocator, not the clock, so they are machine-independent without
+	// normalization; the additive slack keeps a near-zero baseline (an
+	// allocation-free cell) from demanding exact equality forever while
+	// still pinning it near zero. Cells whose baseline recorded no
+	// allocation metrics (pre-trajectory BENCH files) are skipped rather
+	// than judged against a fabricated zero. 0 disables it.
+	MaxAllocRegress float64
 }
+
+// Additive slack on the alloc ceilings: multiplicative budgets alone make
+// a zero-alloc baseline an impossible bar (0*(1+r) = 0 forever), and both
+// metrics jitter by a few setup allocations between runs.
+const (
+	allocSlackPerEvent = 0.5
+	bytesSlackPerEvent = 64
+)
 
 // GateCell is one row of the gate's verdict table.
 type GateCell struct {
@@ -60,16 +79,29 @@ type GateCell struct {
 	// Floor is 1-MaxCellRegress (0 when the per-cell check is disabled).
 	Floor float64 `json:"floor,omitempty"`
 	Pass  bool    `json:"pass"`
+	// The allocation trajectory (populated when the alloc check is
+	// enabled and the baseline recorded allocation metrics). AllocPass is
+	// true whenever the alloc check did not fail — including when it was
+	// disabled or skipped.
+	BaselineAllocsPerEvent float64 `json:"baseline_allocs_per_event,omitempty"`
+	CurrentAllocsPerEvent  float64 `json:"current_allocs_per_event,omitempty"`
+	BaselineBytesPerEvent  float64 `json:"baseline_bytes_per_event,omitempty"`
+	CurrentBytesPerEvent   float64 `json:"current_bytes_per_event,omitempty"`
+	AllocPass              bool    `json:"alloc_pass"`
 }
 
 // Verdict is one gate evaluation: the per-cell table plus the aggregate
 // check, in the current report's deterministic cell order — two gate runs
 // over the same pair of reports produce byte-identical verdicts.
 type Verdict struct {
-	ReferenceMechanism string     `json:"reference_mechanism"`
-	CellFloor          float64    `json:"cell_floor,omitempty"`
-	AggregateFloor     float64    `json:"aggregate_floor,omitempty"`
-	Cells              []GateCell `json:"cells"`
+	ReferenceMechanism string  `json:"reference_mechanism"`
+	CellFloor          float64 `json:"cell_floor,omitempty"`
+	AggregateFloor     float64 `json:"aggregate_floor,omitempty"`
+	// AllocCeiling is 1+MaxAllocRegress (0 when the alloc check is
+	// disabled); every cell's allocs/event and bytes/event must stay
+	// under baseline*AllocCeiling plus a small additive slack.
+	AllocCeiling float64    `json:"alloc_ceiling,omitempty"`
+	Cells        []GateCell `json:"cells"`
 	// Worst* name the cell with the smallest normalized ratio — the cell
 	// the gate fails on when it fails.
 	WorstWorkload  string  `json:"worst_workload"`
@@ -201,8 +233,11 @@ func Gate(baseline, current *Report, cfg GateConfig) (*Verdict, error) {
 	if cfg.MaxRegress < 0 || cfg.MaxRegress >= 1 {
 		return nil, fmt.Errorf("bench: gate: max aggregate regression %v outside [0, 1)", cfg.MaxRegress)
 	}
-	if cfg.MaxCellRegress == 0 && cfg.MaxRegress == 0 {
-		return nil, fmt.Errorf("bench: gate: no check enabled (both budgets zero)")
+	if cfg.MaxAllocRegress < 0 {
+		return nil, fmt.Errorf("bench: gate: max alloc regression %v negative", cfg.MaxAllocRegress)
+	}
+	if cfg.MaxCellRegress == 0 && cfg.MaxRegress == 0 && cfg.MaxAllocRegress == 0 {
+		return nil, fmt.Errorf("bench: gate: no check enabled (all budgets zero)")
 	}
 	if err := Comparable(baseline, current); err != nil {
 		return nil, err
@@ -227,6 +262,9 @@ func Gate(baseline, current *Report, cfg GateConfig) (*Verdict, error) {
 	if cfg.MaxRegress > 0 {
 		v.AggregateFloor = 1 - cfg.MaxRegress
 	}
+	if cfg.MaxAllocRegress > 0 {
+		v.AllocCeiling = 1 + cfg.MaxAllocRegress
+	}
 
 	base := cellIndex(baseline)
 	for _, c := range current.Cells {
@@ -244,11 +282,27 @@ func Gate(baseline, current *Report, cfg GateConfig) (*Verdict, error) {
 			CurrentNorm:          c.EventsPerSec / curRefs[c.Workload],
 			Floor:                v.CellFloor,
 			Pass:                 true,
+			AllocPass:            true,
 		}
 		gc.NormRatio = gc.CurrentNorm / gc.BaselineNorm
 		if v.CellFloor > 0 && gc.NormRatio < v.CellFloor {
 			gc.Pass = false
 			v.Pass = false
+		}
+		// The alloc trajectory floor. A baseline cell with neither metric
+		// recorded predates the trajectory and is skipped — zero there
+		// means "unmeasured", and judging against it would demand an
+		// allocation-free current run no baseline ever promised.
+		if v.AllocCeiling > 0 && (b.AllocsPerEvent > 0 || b.BytesPerEvent > 0) {
+			gc.BaselineAllocsPerEvent = b.AllocsPerEvent
+			gc.CurrentAllocsPerEvent = c.AllocsPerEvent
+			gc.BaselineBytesPerEvent = b.BytesPerEvent
+			gc.CurrentBytesPerEvent = c.BytesPerEvent
+			if c.AllocsPerEvent > b.AllocsPerEvent*v.AllocCeiling+allocSlackPerEvent ||
+				c.BytesPerEvent > b.BytesPerEvent*v.AllocCeiling+bytesSlackPerEvent {
+				gc.AllocPass = false
+				v.Pass = false
+			}
 		}
 		if v.WorstWorkload == "" || gc.NormRatio < v.WorstNormRatio {
 			v.WorstWorkload = gc.Workload
@@ -300,6 +354,22 @@ func (v *Verdict) Summary() string {
 	if v.AggregateFloor > 0 {
 		s += fmt.Sprintf(" (floor %.3fx)", v.AggregateFloor)
 	}
+	if v.AllocCeiling > 0 {
+		var failing []string
+		for _, c := range v.Cells {
+			if !c.AllocPass {
+				failing = append(failing, fmt.Sprintf("%s/%s %.1f->%.1f allocs/ev %.0f->%.0f B/ev",
+					c.Workload, c.Mechanism,
+					c.BaselineAllocsPerEvent, c.CurrentAllocsPerEvent,
+					c.BaselineBytesPerEvent, c.CurrentBytesPerEvent))
+			}
+		}
+		if len(failing) == 0 {
+			s += fmt.Sprintf(", allocs within %.2fx", v.AllocCeiling)
+		} else {
+			s += fmt.Sprintf(", alloc regress over %.2fx ceiling: %s", v.AllocCeiling, strings.Join(failing, "; "))
+		}
+	}
 	return s
 }
 
@@ -331,8 +401,13 @@ func (v *Verdict) WriteTable(w io.Writer) error {
 			floor = fmt.Sprintf("%.3fx", c.Floor)
 		}
 		verdict := "pass"
-		if !c.Pass {
+		switch {
+		case !c.Pass && !c.AllocPass:
+			verdict = "FAIL+alloc"
+		case !c.Pass:
 			verdict = "FAIL"
+		case !c.AllocPass:
+			verdict = "ALLOC-FAIL"
 		}
 		if _, err := fmt.Fprintf(w, "  %-*s  %-*s  %8.3fx  %8.3fx  %7s  %s\n",
 			wl, c.Workload, ml, c.Mechanism, c.RawSpeedup, c.NormRatio, floor, verdict); err != nil {

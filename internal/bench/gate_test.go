@@ -160,17 +160,141 @@ func TestGateNormalizedRatioMachineInvariance(t *testing.T) {
 	}
 }
 
+// withAllocs stamps every cell of a gate report with allocation metrics.
+func withAllocs(r *Report, allocs func(w, m string) (perEvent, bytesPerEvent float64)) *Report {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		c.AllocsPerEvent, c.BytesPerEvent = allocs(c.Workload, c.Mechanism)
+	}
+	return r
+}
+
+// TestGateAllocTrajectoryFloor: the allocation-metric trajectory check —
+// a cell whose allocs/event or bytes/event grow past
+// baseline*(1+MaxAllocRegress)+slack must fail the gate even when its
+// throughput is fine, and growth inside the budget (or inside the additive
+// slack, for a zero-alloc baseline) must pass.
+func TestGateAllocTrajectoryFloor(t *testing.T) {
+	flat := func(w, m string) float64 { return 1e6 }
+	base := withAllocs(gateReport(gateWorkloads, gateMechanisms, flat),
+		func(w, m string) (float64, float64) { return 10, 800 })
+	cfg := GateConfig{MaxCellRegress: 0.15, MaxAllocRegress: 0.5}
+
+	// Identical allocation behavior passes, and the verdict records it.
+	cur := withAllocs(gateReport(gateWorkloads, gateMechanisms, flat),
+		func(w, m string) (float64, float64) { return 10, 800 })
+	v, err := Gate(base, cur, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("unchanged alloc trajectory failed: %s", v.Summary())
+	}
+	if v.AllocCeiling != 1.5 {
+		t.Errorf("alloc ceiling %v, want 1.5", v.AllocCeiling)
+	}
+	for _, c := range v.Cells {
+		if !c.AllocPass || c.BaselineAllocsPerEvent != 10 || c.CurrentBytesPerEvent != 800 {
+			t.Errorf("%s/%s: alloc fields not recorded: %+v", c.Workload, c.Mechanism, c)
+		}
+	}
+
+	// One cell's allocs/event blow past the ceiling (10*1.5+0.5 = 15.5)
+	// while its throughput is unchanged: the gate must fail on exactly
+	// that cell, via AllocPass, with the throughput check still passing.
+	cur = withAllocs(gateReport(gateWorkloads, gateMechanisms, flat),
+		func(w, m string) (float64, float64) {
+			if w == "TPC-B" && m == "ADDICT" {
+				return 16, 800
+			}
+			return 10, 800
+		})
+	v, err = Gate(base, cur, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatalf("60%% allocs/event growth passed a 50%% budget: %s", v.Summary())
+	}
+	for _, c := range v.Cells {
+		wantFail := c.Workload == "TPC-B" && c.Mechanism == "ADDICT"
+		if c.AllocPass == wantFail {
+			t.Errorf("%s/%s: AllocPass=%v", c.Workload, c.Mechanism, c.AllocPass)
+		}
+		if !c.Pass {
+			t.Errorf("%s/%s: throughput check failed on an alloc-only regression", c.Workload, c.Mechanism)
+		}
+	}
+	if !strings.Contains(v.Summary(), "alloc regress") || !strings.Contains(v.Summary(), "TPC-B/ADDICT") {
+		t.Errorf("summary does not name the alloc regression: %s", v.Summary())
+	}
+
+	// Bytes/event alone regressing (800*1.5+64 = 1264) fails the same way.
+	cur = withAllocs(gateReport(gateWorkloads, gateMechanisms, flat),
+		func(w, m string) (float64, float64) {
+			if w == "TPC-B" && m == "Baseline" {
+				return 10, 1300
+			}
+			return 10, 800
+		})
+	if v, err = Gate(base, cur, cfg); err != nil {
+		t.Fatal(err)
+	} else if v.Pass {
+		t.Errorf("bytes/event regression passed: %s", v.Summary())
+	}
+
+	// A zero-alloc baseline pins the cell near zero: growth inside the
+	// additive slack passes, growth past it fails — the slack keeps the
+	// multiplicative budget from demanding exact zero forever without
+	// letting allocations creep back in.
+	zeroBase := withAllocs(gateReport(gateWorkloads, gateMechanisms, flat),
+		func(w, m string) (float64, float64) { return 0, 100 })
+	within := withAllocs(gateReport(gateWorkloads, gateMechanisms, flat),
+		func(w, m string) (float64, float64) { return 0.4, 100 })
+	if v, err = Gate(zeroBase, within, cfg); err != nil {
+		t.Fatal(err)
+	} else if !v.Pass {
+		t.Errorf("growth inside the additive slack failed: %s", v.Summary())
+	}
+	crept := withAllocs(gateReport(gateWorkloads, gateMechanisms, flat),
+		func(w, m string) (float64, float64) { return 0.6, 100 })
+	if v, err = Gate(zeroBase, crept, cfg); err != nil {
+		t.Fatal(err)
+	} else if v.Pass {
+		t.Errorf("allocations crept past the slack on a zero-alloc baseline: %s", v.Summary())
+	}
+
+	// A baseline that never recorded allocation metrics (both zero —
+	// pre-trajectory BENCH files) is skipped, not judged against zero.
+	unrecorded := gateReport(gateWorkloads, gateMechanisms, flat)
+	heavy := withAllocs(gateReport(gateWorkloads, gateMechanisms, flat),
+		func(w, m string) (float64, float64) { return 50, 4000 })
+	if v, err = Gate(unrecorded, heavy, cfg); err != nil {
+		t.Fatal(err)
+	} else if !v.Pass {
+		t.Errorf("unrecorded baseline was judged against zero: %s", v.Summary())
+	}
+
+	// The alloc check alone is an enabled check; a negative budget refuses.
+	if _, err := Gate(base, base, GateConfig{MaxAllocRegress: 0.5}); err != nil {
+		t.Errorf("alloc-only gate refused: %v", err)
+	}
+	if _, err := Gate(base, base, GateConfig{MaxAllocRegress: -0.1}); err == nil {
+		t.Error("negative alloc budget accepted")
+	}
+}
+
 // TestGateVerdictByteStable: gating the same two artifacts twice must
 // produce byte-identical verdicts (JSON and rendered table) — the gate is
 // a pure function of its inputs.
 func TestGateVerdictByteStable(t *testing.T) {
-	base := gateReport(gateWorkloads, gateMechanisms, func(w, m string) float64 {
+	base := withAllocs(gateReport(gateWorkloads, gateMechanisms, func(w, m string) float64 {
 		return 1e6 + float64(len(w)+len(m))*1e4
-	})
-	cur := gateReport(gateWorkloads, gateMechanisms, func(w, m string) float64 {
+	}), func(w, m string) (float64, float64) { return float64(len(w)), float64(64 * len(m)) })
+	cur := withAllocs(gateReport(gateWorkloads, gateMechanisms, func(w, m string) float64 {
 		return 1.1e6 + float64(len(w)*len(m))*1e4
-	})
-	cfg := GateConfig{MaxCellRegress: 0.25, MaxRegress: 0.5}
+	}), func(w, m string) (float64, float64) { return float64(len(m)), float64(64 * len(w)) })
+	cfg := GateConfig{MaxCellRegress: 0.25, MaxRegress: 0.5, MaxAllocRegress: 0.5}
 	render := func() ([]byte, []byte) {
 		v, err := Gate(base, cur, cfg)
 		if err != nil {

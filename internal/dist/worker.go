@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"addict/internal/pool"
+	"addict/internal/store"
+	"addict/internal/sweep"
+)
+
+// WorkerOptions configure one worker process (or goroutine).
+type WorkerOptions struct {
+	// Name is a self-reported label for the coordinator's counter summary
+	// (hostname, flag value); the coordinator assigns the real identity.
+	Name string
+	// StoreDir attaches the shared on-disk artifact store ("" = memory
+	// only — correct but cold). StoreBudget caps it (0 = unbounded).
+	StoreDir    string
+	StoreBudget int64
+	// Workers bounds artifact-generation parallelism inside this worker
+	// (values below 1 select all CPUs, the package-wide convention).
+	Workers int
+	// LeaseBatch is how many units to request per lease (0 = let the
+	// coordinator pick).
+	LeaseBatch int
+	// Retries bounds consecutive transport failures (coordinator
+	// unreachable, 5xx) before giving up; RetryBase seeds the pool.Backoff
+	// schedule between them. Defaults: 5 attempts, 200ms base.
+	Retries   int
+	RetryBase time.Duration
+	// OnLease, when set, observes each granted lease's unit IDs before
+	// computation starts — a progress hook, and the injection point the
+	// crash tests use to kill a worker mid-unit.
+	OnLease func(ids []string)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	o.Workers = pool.NormWorkers(o.Workers)
+	if o.Retries <= 0 {
+		o.Retries = 5
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 200 * time.Millisecond
+	}
+	return o
+}
+
+// Work runs one worker against the coordinator at baseURL until the grid
+// is done (returns the number of units this worker completed), the
+// coordinator aborts the run, or ctx is cancelled. It joins, expands the
+// coordinator's resolved spec locally — refusing to compute if the
+// expansion disagrees with the coordinator's grid hash (version skew) —
+// then loops lease → sweep.RunUnit → complete. Compute failures are
+// reported, not fatal here: the coordinator owns the retry budget.
+func Work(ctx context.Context, baseURL string, opts WorkerOptions) (int, error) {
+	opts = opts.withDefaults()
+	base := strings.TrimRight(baseURL, "/")
+	hc := &http.Client{}
+
+	var join joinResponse
+	if err := postJSON(ctx, hc, base+pathJoin, joinRequest{Name: opts.Name}, &join, opts); err != nil {
+		return 0, fmt.Errorf("dist: join: %w", err)
+	}
+	units, err := join.Spec.Expand()
+	if err != nil {
+		return 0, fmt.Errorf("dist: expand coordinator spec: %w", err)
+	}
+	if len(units) != join.Units || gridHash(join.Spec, units) != join.GridHash {
+		return 0, fmt.Errorf("dist: local expansion (%d units) disagrees with coordinator grid %s (%d units): version skew, refusing to compute",
+			len(units), join.GridHash, join.Units)
+	}
+
+	arts := sweep.NewArtifacts(join.Spec.Seed, join.Spec.Scale,
+		join.Spec.ProfileTraces, join.Spec.EvalTraces, opts.Workers)
+	if opts.StoreDir != "" {
+		st, err := store.Open(opts.StoreDir, opts.StoreBudget)
+		if err != nil {
+			return 0, fmt.Errorf("dist: open store: %w", err)
+		}
+		arts.SetStore(st)
+	}
+	storeStats := func() *store.Stats {
+		if s, ok := arts.StoreStats(); ok {
+			return &s
+		}
+		return nil
+	}
+
+	completed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return completed, err
+		}
+		var lr leaseResponse
+		req := leaseRequest{WorkerID: join.WorkerID, Max: opts.LeaseBatch, Store: storeStats()}
+		if err := postJSON(ctx, hc, base+pathLease, req, &lr, opts); err != nil {
+			return completed, fmt.Errorf("dist: lease: %w", err)
+		}
+		switch {
+		case lr.Abort != "":
+			return completed, fmt.Errorf("dist: run aborted by coordinator: %s", lr.Abort)
+		case lr.Done:
+			return completed, nil
+		case len(lr.Units) == 0:
+			wait := time.Duration(lr.WaitMillis) * time.Millisecond
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return completed, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		if opts.OnLease != nil {
+			ids := make([]string, len(lr.Units))
+			for i, lu := range lr.Units {
+				ids[i] = lu.ID
+			}
+			opts.OnLease(ids)
+		}
+		for _, lu := range lr.Units {
+			if lu.Index < 0 || lu.Index >= len(units) || units[lu.Index].ID != lu.ID {
+				return completed, fmt.Errorf("dist: lease names unit %d=%q, local grid disagrees", lu.Index, lu.ID)
+			}
+			m, runErr := sweep.RunUnit(ctx, arts, units[lu.Index])
+			if runErr != nil && ctx.Err() != nil {
+				// A crash/cancel, not a unit failure: report nothing and
+				// let the lease expire, exactly like a killed process.
+				return completed, ctx.Err()
+			}
+			cr := completeRequest{
+				WorkerID: join.WorkerID,
+				Index:    lu.Index,
+				ID:       lu.ID,
+				Store:    storeStats(),
+			}
+			if runErr != nil {
+				cr.Error = runErr.Error()
+			} else {
+				cr.Metrics = &m
+			}
+			var resp completeResponse
+			if err := postJSON(ctx, hc, base+pathComplete, cr, &resp, opts); err != nil {
+				return completed, fmt.Errorf("dist: complete %s: %w", lu.ID, err)
+			}
+			if runErr == nil && !resp.Duplicate {
+				completed++
+			}
+		}
+	}
+}
+
+// postJSON posts one JSON request and decodes the JSON response, retrying
+// transport errors and 5xx responses on the shared pool.Backoff schedule
+// (4xx is a protocol bug or a stale worker — never retried).
+func postJSON(ctx context.Context, hc *http.Client, url string, in, out any, opts WorkerOptions) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 1; attempt <= opts.Retries; attempt++ {
+		if attempt > 1 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(pool.Backoff(attempt-1, opts.RetryBase, 5*time.Second)):
+			}
+		}
+		last = tryPostJSON(ctx, hc, url, body, out)
+		if last == nil {
+			return nil
+		}
+		var pe *protocolError
+		if errors.As(last, &pe) && pe.status < 500 {
+			return last
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("%w (after %d attempts)", last, opts.Retries)
+}
+
+func tryPostJSON(ctx context.Context, hc *http.Client, url string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &protocolError{status: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
+}
+
+// protocolError is a non-200 coordinator response; 4xx is terminal, 5xx
+// retryable.
+type protocolError struct {
+	status int
+	msg    string
+}
+
+func (e *protocolError) Error() string {
+	return fmt.Sprintf("coordinator returned %d: %s", e.status, e.msg)
+}

@@ -1,0 +1,43 @@
+package pool
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 100 * time.Millisecond}, // clamped to attempt 1
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{5, 1600 * time.Millisecond},
+		{6, 2 * time.Second}, // capped
+		{50, 2 * time.Second},
+	}
+	for _, c := range cases {
+		if got := Backoff(c.attempt, base, max); got != c.want {
+			t.Errorf("Backoff(%d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+}
+
+func TestBackoffUncapped(t *testing.T) {
+	if got := Backoff(4, time.Second, 0); got != 8*time.Second {
+		t.Errorf("uncapped Backoff(4) = %v, want 8s", got)
+	}
+}
+
+// TestBackoffOverflowStopsAtCap drives the doubling far past the point a
+// time.Duration would overflow: the schedule must stay pinned at max, never
+// wrap negative.
+func TestBackoffOverflowStopsAtCap(t *testing.T) {
+	got := Backoff(200, time.Second, time.Minute)
+	if got != time.Minute {
+		t.Errorf("Backoff(200) = %v, want the 1m cap", got)
+	}
+}

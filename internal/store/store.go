@@ -86,8 +86,10 @@ type Stats struct {
 
 // Store is a content-addressed artifact store over one directory. Safe for
 // concurrent use within a process; across processes, writes stay safe
-// (atomic renames of identical deterministic content) and the size index
-// is best effort until the next GC walk.
+// (atomic renames of identical deterministic content). A budgeted store
+// rescans the directory on every Put before enforcing the budget, so the
+// budget holds even when several processes write the same directory; an
+// unbounded store's size index is best effort until the next GC walk.
 type Store struct {
 	dir    string
 	budget int64 // bytes; <= 0 = unbounded
@@ -227,6 +229,17 @@ func (s *Store) Put(spec string, payload []byte) {
 	s.sizes[key] = size
 	s.used += size
 	s.writes++
+	// Under a size budget the directory, not this handle's index, is the
+	// truth: other processes sharing the store (distributed sweep workers
+	// rendezvousing on one directory) write entries this index has never
+	// seen, and judging the budget against the local view alone lets N
+	// writers each stay "under budget" while the directory grows to N
+	// times it. Rescan before the GC decision so every eviction pass sees
+	// the whole resident set. Unbounded stores skip the walk — nothing to
+	// enforce.
+	if s.budget > 0 {
+		s.rescanLocked()
+	}
 	s.gcLocked()
 }
 

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -254,6 +256,89 @@ func TestGCBudget(t *testing.T) {
 	}
 	if _, ok := s.Get(specs[0]); ok {
 		t.Error("oldest entry survived a GC that had to evict")
+	}
+}
+
+// entryBytesOnDisk sums the resident entry files under dir — the
+// directory truth a budget must be judged against.
+func entryBytesOnDisk(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, fileSuffix) {
+			total += info.Size()
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// TestGCBudgetSharedDirTwoHandles is the two-process contention scenario
+// distributed sweeps create: two Store handles (standing in for two worker
+// processes) over one directory and one budget, writing in parallel — some
+// distinct specs, some the same spec from both sides, racing identical
+// renames — with GC sweeps mixed in. No read may ever fail verification
+// (atomic renames of identical deterministic content), and the budget must
+// hold against the *directory*, not each handle's private index: before
+// the rescan-on-Put fix, each handle GC'd only its own writes, so N
+// writers kept the directory at N times the budget.
+func TestGCBudgetSharedDirTwoHandles(t *testing.T) {
+	dir := t.TempDir()
+	const budget = 64 << 10
+	a, err := Open(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("artifact"), 512) // 4 KiB
+
+	var wg sync.WaitGroup
+	write := func(s *Store, who string) {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			spec := "contend|" + who + "|" + strconv.Itoa(i)
+			if i%4 == 0 {
+				spec = "contend|shared|" + strconv.Itoa(i) // both handles race this key
+			}
+			s.Put(spec, payload)
+			if got, ok := s.Get(spec); ok && !bytes.Equal(got, payload) {
+				t.Errorf("%s: read back wrong payload for %s", who, spec)
+			}
+			// One explicit sweep early on; the later writes must be
+			// covered by Put's own budget pass (a late GC here would
+			// rescan and mask a stale-index bug).
+			if i == 9 {
+				s.GC()
+			}
+		}
+	}
+	wg.Add(2)
+	go write(a, "a")
+	go write(b, "b")
+	wg.Wait()
+
+	// One more ordinary Put with no explicit GC: its own budget pass must
+	// already see (and evict down) the other handle's entries. This is
+	// the regression assert — with the handle-local index, each side ends
+	// near the budget by its own accounting while the directory holds
+	// both sides' survivors.
+	a.Put("contend|tail", payload)
+	if got := entryBytesOnDisk(t, dir); got > budget {
+		t.Errorf("directory holds %d bytes after a budgeted Put, budget %d", got, budget)
+	}
+	if got, ok := a.Get("contend|tail"); !ok || !bytes.Equal(got, payload) {
+		t.Error("newest entry did not survive its own Put's GC")
+	}
+	for _, s := range []*Store{a, b} {
+		if st := s.Stats(); st.VerifyFailures != 0 {
+			t.Errorf("%d verify failures under contention, want 0 (%+v)", st.VerifyFailures, st)
+		}
 	}
 }
 

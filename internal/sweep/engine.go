@@ -276,10 +276,14 @@ func (a *Artifacts) Profile(ctx context.Context, name string, m sim.Config) (*co
 	return v.(*core.Profile), nil
 }
 
-// runUnit executes one unit over the artifact cache. Only ADDICT consults
-// the migration-point profile, so other mechanisms skip Algorithm 1
-// entirely.
-func runUnit(ctx context.Context, a *Artifacts, u Unit) (Metrics, error) {
+// RunUnit executes one unit over the artifact cache and reduces the result
+// to metrics. Only ADDICT consults the migration-point profile, so other
+// mechanisms skip Algorithm 1 entirely. This is the single per-unit
+// execution path: the in-process engine (Run) and the distributed workers
+// (internal/dist) both call it, which is what makes a re-dispatched unit a
+// deterministic recomputation — or, with a shared store attached, a cache
+// hit — instead of a divergent answer.
+func RunUnit(ctx context.Context, a *Artifacts, u Unit) (Metrics, error) {
 	var prof *core.Profile
 	if u.Mechanism == sched.ADDICT {
 		p, err := a.Profile(ctx, u.Workload, u.Machine)
@@ -367,7 +371,7 @@ func RunWith(ctx context.Context, spec Spec, em Emitter, workers int, arts *Arti
 		if stopped.Load() {
 			return
 		}
-		results[i], errs[i] = runUnit(ctx, arts, units[i])
+		results[i], errs[i] = RunUnit(ctx, arts, units[i])
 	})
 
 	if err := em.Begin(units); err != nil {

@@ -184,6 +184,16 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Resolved returns the spec with every unset base parameter filled in
+// (seed, scale, trace windows, default workload and mechanism axes) — the
+// canonical form two processes must agree on before they can rendezvous on
+// one grid: a coordinator resolves once and ships the resolved spec, so a
+// worker expanding it lands on exactly the same units and the same
+// artifact-store addresses. Resolving is idempotent.
+func (s Spec) Resolved() Spec {
+	return s.withDefaults()
+}
+
 // synthNames expands the synthetic-workload axes into encoded workload
 // names, validating every combination by parsing it back.
 func (s Spec) synthNames() ([]string, error) {

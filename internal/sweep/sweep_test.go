@@ -288,11 +288,11 @@ func TestAdmitLimitAxis(t *testing.T) {
 		t.Fatal(err)
 	}
 	arts := NewArtifacts(spec.Seed, spec.Scale, spec.ProfileTraces, spec.EvalTraces, 1)
-	free, err := runUnit(context.Background(), arts, units[0])
+	free, err := RunUnit(context.Background(), arts, units[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := runUnit(context.Background(), arts, units[1])
+	serial, err := RunUnit(context.Background(), arts, units[1])
 	if err != nil {
 		t.Fatal(err)
 	}
